@@ -1,0 +1,123 @@
+// Command cmapsim runs a single two-flow scenario on the generated
+// testbed and prints per-flow goodput and protocol counters — a
+// microscope for one topology rather than a whole figure.
+//
+// Usage:
+//
+//	cmapsim [-seed N] [-topology exposed|inrange|hidden] [-protocol cmap|cmap1|dcf|dcf-nocs|dcf-nocs-noack] [-duration 30s] [-index 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/csma"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "master seed")
+	topology := flag.String("topology", "exposed", "exposed | inrange | hidden")
+	protocol := flag.String("protocol", "cmap", "cmap | cmap1 | dcf | dcf-nocs | dcf-nocs-noack")
+	duration := flag.Duration("duration", 30*time.Second, "virtual run time")
+	index := flag.Int("index", 0, "which sampled topology to run")
+	traceN := flag.Int("trace", 0, "print the last N link-layer events of the first flow's endpoints")
+	flag.Parse()
+
+	tb := topo.NewTestbed(50, *seed)
+	rng := sim.NewRNG(*seed * 31)
+	var pairs []topo.LinkPair
+	switch *topology {
+	case "exposed":
+		pairs = tb.ExposedPairs(rng, *index+1)
+	case "inrange":
+		pairs = tb.InRangePairs(rng, *index+1)
+	case "hidden":
+		pairs = tb.HiddenPairs(rng, *index+1)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topology)
+		os.Exit(2)
+	}
+	if *index >= len(pairs) {
+		fmt.Fprintf(os.Stderr, "only %d %s topologies available\n", len(pairs), *topology)
+		os.Exit(1)
+	}
+	pair := pairs[*index]
+	fmt.Printf("topology %s[%d]: S1=%d→R1=%d  S2=%d→R2=%d\n",
+		*topology, *index, pair.A.Src, pair.A.Dst, pair.B.Src, pair.B.Dst)
+	fmt.Printf("links: S1→R1 %.0f dBm (PRR %.2f)  S2→R2 %.0f dBm (PRR %.2f)  S2@S1 %.0f dBm\n",
+		tb.RSS[pair.A.Src][pair.A.Dst], tb.PRR[pair.A.Src][pair.A.Dst],
+		tb.RSS[pair.B.Src][pair.B.Dst], tb.PRR[pair.B.Src][pair.B.Dst],
+		tb.RSS[pair.B.Src][pair.A.Src])
+
+	sched := sim.NewScheduler()
+	m := tb.Build(sched, rng.Stream(1))
+	d := sim.Duration(*duration)
+	warm := d * 2 / 5
+	meters := [2]*stats.Meter{
+		{Start: warm, End: d},
+		{Start: warm, End: d},
+	}
+	flows := [2]topo.Link{pair.A, pair.B}
+	var tracer *trace.Tracer
+	if *traceN > 0 {
+		tracer = trace.New(*traceN)
+	}
+
+	switch *protocol {
+	case "cmap", "cmap1":
+		cfg := core.DefaultConfig()
+		if *protocol == "cmap1" {
+			cfg.Nwindow = 1
+		}
+		var senders [2]*core.Node
+		for i, f := range flows {
+			senders[i] = core.New(f.Src, cfg, m, rng.Stream(uint64(100+i)))
+			rx := core.New(f.Dst, cfg, m, rng.Stream(uint64(200+i)))
+			rx.Meter = meters[i]
+			if tracer != nil && i == 0 {
+				m.Radio(f.Src).SetHandler(tracer.Wrap(f.Src, senders[i], sched))
+				m.Radio(f.Dst).SetHandler(tracer.Wrap(f.Dst, rx, sched))
+			}
+			senders[i].SetSaturated(f.Dst)
+		}
+		sched.Run(d)
+		for i, f := range flows {
+			st := senders[i].Stats()
+			fmt.Printf("flow %d→%d: %.2f Mb/s  vpkts=%d defers=%d backoffs=%d acks=%d ackMiss=%d retxTO=%d deferTab=%d\n",
+				f.Src, f.Dst, meters[i].Mbps(), st.VpktsSent, st.Defers, st.Backoffs,
+				st.AcksReceived, st.AckWaitExpired, st.RetxTimeouts, senders[i].DeferTableSize())
+		}
+	case "dcf", "dcf-nocs", "dcf-nocs-noack":
+		cfg := csma.DefaultConfig()
+		cfg.CarrierSense = *protocol == "dcf"
+		cfg.LinkACKs = *protocol != "dcf-nocs-noack"
+		var senders [2]*csma.Node
+		for i, f := range flows {
+			senders[i] = csma.New(f.Src, cfg, m, rng.Stream(uint64(100+i)))
+			rx := csma.New(f.Dst, cfg, m, rng.Stream(uint64(200+i)))
+			rx.Meter = meters[i]
+			senders[i].SetSaturated(f.Dst)
+		}
+		sched.Run(d)
+		for i, f := range flows {
+			st := senders[i].Stats()
+			fmt.Printf("flow %d→%d: %.2f Mb/s  sent=%d ackTO=%d dropped=%d\n",
+				f.Src, f.Dst, meters[i].Mbps(), st.Sent, st.AckTimeout, st.Dropped)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+	total := meters[0].Mbps() + meters[1].Mbps()
+	fmt.Printf("aggregate: %.2f Mb/s\n", total)
+	if tracer != nil {
+		fmt.Printf("\nlast %d link-layer events of flow 0's endpoints:\n%s", tracer.Len(), tracer.Dump())
+	}
+}

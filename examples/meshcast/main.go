@@ -1,0 +1,103 @@
+// meshcast: the paper's §5.7 two-hop content-dissemination mesh.
+//
+// A source broadcasts batches of packets to three relays; the relays then
+// forward concurrently, each to its own leaf. The relays hear one another
+// (so 802.11 serialises them) but their leaves are spatially separated —
+// the forwarding phase is a set of exposed terminals, which CMAP exploits.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	cmap "repro"
+)
+
+const (
+	seed     = 3
+	batch    = 320
+	duration = 24 * time.Second
+	warmup   = 8 * time.Second
+)
+
+func run(name string, useCMAP bool) float64 {
+	nw := cmap.NewTestbedNetwork(50, seed)
+	tb := nw.Testbed()
+	meshes := tb.MeshTopologies(nw.Rand(0xbeef), 1, 3)
+	if len(meshes) == 0 {
+		panic("no mesh topology available")
+	}
+	msh := meshes[0]
+
+	attach := func(id int) *cmap.Station {
+		if useCMAP {
+			return nw.AddCMAP(id)
+		}
+		return nw.AddDCF(id)
+	}
+	src := attach(msh.Source)
+	relays := make([]*cmap.Station, 3)
+	leaves := make([]*cmap.Station, 3)
+	pending := make([]int, 3)
+	for i := range msh.Relays {
+		i := i
+		relays[i] = attach(msh.Relays[i])
+		leaves[i] = attach(msh.Leaves[i])
+		leaves[i].Measure(warmup, duration)
+		relays[i].OnDeliver(func(from int, _ uint32, _ time.Duration) {
+			if from == msh.Source {
+				pending[i]++
+			}
+		})
+	}
+
+	// Source broadcasts in batches; relays forward between batches.
+	if useCMAP {
+		src.BroadcastTo(msh.Relays, false, batch)
+	} else {
+		src.Send(cmap.Broadcast, batch)
+	}
+	srcPhase := true
+	deadline := time.Duration(0)
+	for deadline < duration {
+		deadline += 20 * time.Millisecond
+		nw.Run(20 * time.Millisecond)
+		if srcPhase && src.Idle() {
+			srcPhase = false
+			for i := range relays {
+				if pending[i] > 0 {
+					relays[i].Send(msh.Leaves[i], pending[i])
+					pending[i] = 0
+				}
+			}
+		} else if !srcPhase {
+			done := true
+			for _, r := range relays {
+				if !r.Idle() {
+					done = false
+					break
+				}
+			}
+			if done {
+				srcPhase = true
+				src.Send(cmap.Broadcast, batch)
+			}
+		}
+	}
+
+	var agg float64
+	fmt.Printf("%-18s", name)
+	for i, leaf := range leaves {
+		fmt.Printf("  B%d %5.2f", i, leaf.GoodputMbps())
+		agg += leaf.GoodputMbps()
+	}
+	fmt.Printf("  | aggregate %5.2f Mb/s\n", agg)
+	return agg
+}
+
+func main() {
+	fmt.Println("Two-hop content dissemination (Figure 11d), batched phases:")
+	dcf := run("802.11 (CS, acks)", false)
+	cm := run("CMAP", true)
+	fmt.Printf("\naggregate gain: %.2fx (the paper reports 1.52x)\n", cm/dcf)
+}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/medium"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// DeliverFunc observes each non-duplicate payload delivery at a receiver.
+type DeliverFunc func(src int, pktSeq uint32, now sim.Time)
+
+// Stats counts protocol events at one CMAP node.
+type Stats struct {
+	VpktsSent      uint64 // virtual packets transmitted (incl. retx rounds)
+	DataSent       uint64 // data packets transmitted
+	Delivered      uint64 // non-duplicate data packets received for us
+	Duplicates     uint64
+	AcksSent       uint64
+	AcksReceived   uint64
+	AckWaitExpired uint64 // tackwait expiries (ACK missing/late)
+	RetxTimeouts   uint64 // window-full timeouts (§3.3)
+	Defers         uint64 // virtual packets deferred by the conflict map
+	Backoffs       uint64 // nonzero backoff waits taken
+	HeadersHeard   uint64 // overheard headers (any destination)
+	TrailersHeard  uint64
+	ListsSent      uint64 // interferer-list broadcasts transmitted
+	ListsHeard     uint64
+	ListsRelayed   uint64 // two-hop relays of other receivers' lists (§3.1)
+	Corrupt        uint64 // PHY-corrupted frames observed
+}
+
+// vpktTx tracks the in-progress transmission of one virtual packet.
+type vpktTx struct {
+	flow        *txFlow
+	vseq        uint32
+	seqs        []uint32
+	next        int
+	trailerSent bool
+	isRetx      bool
+}
+
+// txFlow is the sender-side state of one destination: its queue, sequence
+// space, window and retransmission set. Plain CMAP has exactly one; the
+// §3.2 per-destination-queues optimisation (Config.PerDestQueues) allows
+// several, letting the sender transmit to a non-conflicting destination
+// while the head-of-line one must defer.
+type txFlow struct {
+	dst          frame.Addr
+	dstID        int
+	bcast        bool
+	bcastTargets []frame.Addr
+	saturated    bool
+	backlog      int
+	nextPktSeq   uint32
+	unacked      map[uint32]struct{}
+	retx         []uint32
+}
+
+// drained reports whether the flow has nothing queued or outstanding.
+func (f *txFlow) drained() bool {
+	return !f.saturated && f.backlog == 0 && len(f.unacked) == 0
+}
+
+// rxVpkt tracks the in-progress reception of one inbound virtual packet.
+type rxVpkt struct {
+	vseq        uint32
+	start       sim.Time // estimated on-air start (header start)
+	expected    int
+	got         []bool
+	headerSeen  bool
+	trailerSeen bool
+	rate        uint8
+	bcast       bool
+}
+
+// rxFlow is the receiver-side state for one sender.
+type rxFlow struct {
+	srcID    int
+	srcAddr  frame.Addr
+	cum      uint32
+	sack     map[uint32]struct{}
+	cur      *rxVpkt
+	finTimer *sim.Timer
+	// pendExpected and pendLost accumulate loss evidence since the last
+	// ACK, so every ACK reports the loss rate "over the previous window
+	// of packets" (§3.3) — including virtual packets whose own trailer
+	// (and hence ACK) was destroyed.
+	pendExpected int
+	pendLost     int
+
+	// Figure 16/19 counters: of the virtual packets this receiver became
+	// aware of, how many had a decodable header, and how many a header or
+	// trailer.
+	VpktsSeen     uint64
+	VpktsHeader   uint64
+	VpktsHdrOrTrl uint64
+}
+
+// Node is one CMAP station: simultaneously a sender, a receiver, and a
+// promiscuous observer that maintains its slice of the conflict map.
+type Node struct {
+	id    int
+	cfg   Config
+	radio *phy.Radio
+	sched *sim.Scheduler
+	rng   *sim.RNG
+	addr  frame.Addr
+
+	// Meter, when set, records non-duplicate deliveries at this node.
+	Meter *stats.Meter
+	// OnDeliver, when set, observes non-duplicate deliveries.
+	OnDeliver DeliverFunc
+
+	obs         *observations
+	deferTab    *deferTable
+	interfStats map[pairKey]*interfStat
+	interferers map[pairKey]sim.Time
+
+	rx map[frame.Addr]*rxFlow
+
+	// Sender state: one txFlow per destination (§3.2), scheduled
+	// round-robin so no queue starves.
+	flows     []*txFlow
+	flowByDst map[frame.Addr]*txFlow
+	rrNext    int
+	nextVSeq  uint32
+	cw        sim.Time
+	cur       *vpktTx
+	waitAck   bool
+
+	ackTimer     *sim.Timer
+	backoffTimer *sim.Timer
+	deferTimer   *sim.Timer
+	retxTimer    *sim.Timer
+	retryTimer   *sim.Timer
+
+	// lastRelay rate-limits two-hop list relays per original source.
+	lastRelay map[frame.Addr]sim.Time
+
+	stat Stats
+}
+
+// New creates a CMAP node on medium node id.
+func New(id int, cfg Config, m *medium.Medium, rng *sim.RNG) *Node {
+	n := &Node{
+		id:          id,
+		cfg:         cfg,
+		radio:       m.Radio(id),
+		sched:       m.Scheduler(),
+		rng:         rng,
+		addr:        frame.AddrFromID(id),
+		obs:         newObservations(cfg),
+		deferTab:    newDeferTable(),
+		interfStats: make(map[pairKey]*interfStat),
+		interferers: make(map[pairKey]sim.Time),
+		rx:          make(map[frame.Addr]*rxFlow),
+		flowByDst:   make(map[frame.Addr]*txFlow),
+	}
+	n.radio.SetHandler(n)
+	// Desynchronised periodic interferer-list broadcast.
+	first := rng.DurationIn(cfg.BroadcastPeriod/4, cfg.BroadcastPeriod)
+	n.sched.After(first, n.broadcastTick)
+	return n
+}
+
+// ID returns the node's medium index.
+func (n *Node) ID() int { return n.id }
+
+// Addr returns the node's link-layer address.
+func (n *Node) Addr() frame.Addr { return n.addr }
+
+// Stats returns a copy of the node's counters.
+func (n *Node) Stats() Stats { return n.stat }
+
+// DeferTableSize returns the number of live defer-table entries.
+func (n *Node) DeferTableSize() int { return n.deferTab.size() }
+
+// InterfererListLen returns the number of live interferer-list entries.
+func (n *Node) InterfererListLen() int {
+	now := n.sched.Now()
+	c := 0
+	for _, exp := range n.interferers {
+		if exp > now {
+			c++
+		}
+	}
+	return c
+}
+
+// HasDeferEntry reports whether the defer table holds a live entry that
+// would make sending to dst defer to src→theirDst (used by tests).
+func (n *Node) HasDeferEntry(dst, src, theirDst frame.Addr, rate uint8) bool {
+	return n.deferTab.conflicts(n.sched.Now(), dst, src, theirDst, rate)
+}
+
+// FlowCounters returns the Figure 16/19 virtual-packet visibility
+// counters for traffic received from node src: virtual packets this node
+// became aware of, those with a decoded header, and those with a decoded
+// header or trailer.
+func (n *Node) FlowCounters(src int) (seen, header, headerOrTrailer uint64) {
+	f, ok := n.rx[frame.AddrFromID(src)]
+	if !ok {
+		return 0, 0, 0
+	}
+	return f.VpktsSeen, f.VpktsHeader, f.VpktsHdrOrTrl
+}
+
+// Idle reports whether the sender has nothing left to do on any flow: no
+// backlog, no unacknowledged packets, nothing on the air. Saturated
+// senders are never idle.
+func (n *Node) Idle() bool {
+	if n.cur != nil || n.waitAck {
+		return false
+	}
+	for _, f := range n.flows {
+		if !f.drained() {
+			return false
+		}
+	}
+	return true
+}
+
+// ReceivedFrom returns how many non-duplicate packets were delivered from
+// src (0 if none).
+func (n *Node) ReceivedFrom(src int) uint64 {
+	f, ok := n.rx[frame.AddrFromID(src)]
+	if !ok {
+		return 0
+	}
+	return uint64(f.cum) + uint64(len(f.sack))
+}
+
+// ---------------------------------------------------------------------------
+// Traffic API.
+
+// SetSaturated makes the node a backlogged unicast source towards dst.
+func (n *Node) SetSaturated(dst int) {
+	f := n.flowTo(dst)
+	f.saturated = true
+	n.kick()
+}
+
+// Enqueue adds count packets towards dst. Without Config.PerDestQueues
+// all traffic from one node must share a destination; with it, each new
+// destination gets its own queue, window and sequence space (§3.2).
+func (n *Node) Enqueue(dst int, count int) {
+	f := n.flowTo(dst)
+	f.backlog += count
+	n.kick()
+}
+
+// SetBroadcast switches the node to broadcast (content dissemination)
+// mode towards targets (§3.6): virtual packets carry the broadcast
+// address, no ACKs are expected, and the defer check requires the
+// transmission not to conflict with any target. Broadcast is exclusive
+// with unicast flows.
+func (n *Node) SetBroadcast(targets []int, saturated bool, count int) {
+	if len(n.flows) > 0 {
+		panic("core: node already has a unicast flow")
+	}
+	f := &txFlow{
+		dst:       frame.Broadcast,
+		dstID:     -1,
+		bcast:     true,
+		saturated: saturated,
+		backlog:   count,
+		unacked:   make(map[uint32]struct{}),
+	}
+	for _, t := range targets {
+		f.bcastTargets = append(f.bcastTargets, frame.AddrFromID(t))
+	}
+	n.flows = append(n.flows, f)
+	n.flowByDst[f.dst] = f
+	n.kick()
+}
+
+// EnqueueBroadcast adds count packets to an existing broadcast flow
+// (e.g. the next dissemination batch).
+func (n *Node) EnqueueBroadcast(count int) {
+	f := n.flowByDst[frame.Broadcast]
+	if f == nil {
+		panic("core: EnqueueBroadcast without SetBroadcast")
+	}
+	f.backlog += count
+	n.kick()
+}
+
+// flowTo returns (creating if allowed) the sender flow towards dst.
+func (n *Node) flowTo(dst int) *txFlow {
+	a := frame.AddrFromID(dst)
+	if f, ok := n.flowByDst[a]; ok {
+		return f
+	}
+	if len(n.flows) > 0 && (!n.cfg.PerDestQueues || n.flows[0].bcast) {
+		panic(fmt.Sprintf("core: node %d already has a flow to %v (enable PerDestQueues for multiple destinations)",
+			n.id, n.flows[0].dst))
+	}
+	f := &txFlow{dst: a, dstID: dst, unacked: make(map[uint32]struct{})}
+	n.flows = append(n.flows, f)
+	n.flowByDst[a] = f
+	return f
+}
+
+func (n *Node) kick() { n.trySend() }
+
+// ---------------------------------------------------------------------------
+// phy.Handler.
+
+// OnFrame implements phy.Handler: promiscuous processing of every
+// decodable frame.
+func (n *Node) OnFrame(f frame.Frame, info phy.RxInfo) {
+	now := n.sched.Now()
+	visible := now + n.cfg.Turnaround
+	switch ff := f.(type) {
+	case *frame.Control:
+		if ff.Src == n.addr {
+			return
+		}
+		if ff.Trailer {
+			n.stat.TrailersHeard++
+			n.obs.noteTrailer(ff, info, visible)
+			n.obs.markEnded(ff.Src, ff.Seq, info.End)
+			if ff.Dst == n.addr {
+				n.rxTrailer(ff, info)
+			}
+		} else {
+			n.stat.HeadersHeard++
+			n.obs.noteHeader(ff, info, visible)
+			if ff.Dst == n.addr {
+				n.rxHeader(ff, info)
+			}
+		}
+	case *frame.Data:
+		if ff.Src == n.addr {
+			return
+		}
+		n.obs.noteData(ff, info, visible)
+		if ff.Dst == n.addr || ff.Dst.IsBroadcast() {
+			n.rxData(ff, info)
+		}
+	case *frame.Ack:
+		if ff.Dst == n.addr {
+			n.onAck(ff)
+		}
+	case *frame.InterfererList:
+		n.stat.ListsHeard++
+		n.deferTab.applyRules(n.addr, ff, now+n.cfg.DeferTimeout)
+		n.maybeRelayList(ff, now)
+	}
+}
+
+// maybeRelayList re-broadcasts a freshly heard interferer list once when
+// the §3.1 two-hop option is enabled, rate-limited per original source.
+func (n *Node) maybeRelayList(l *frame.InterfererList, now sim.Time) {
+	if !n.cfg.TwoHopLists || l.Relayed || l.Src == n.addr || len(l.Entries) == 0 {
+		return
+	}
+	if n.lastRelay == nil {
+		n.lastRelay = make(map[frame.Addr]sim.Time)
+	}
+	if last, ok := n.lastRelay[l.Src]; ok && now-last < n.cfg.BroadcastPeriod {
+		return
+	}
+	n.lastRelay[l.Src] = now
+	copyList := &frame.InterfererList{
+		Src:     l.Src,
+		Relayed: true,
+		Entries: append([]frame.InterferenceEntry(nil), l.Entries...),
+	}
+	n.stat.ListsRelayed++
+	n.sched.After(n.turnaroundDelay(), func() { n.sendListWithRetries(copyList, 8) })
+}
+
+// OnCorrupt implements phy.Handler. CMAP infers collisions from sequence
+// gaps, not from PHY corruption events, but counts them for diagnostics.
+func (n *Node) OnCorrupt(phy.RxInfo) { n.stat.Corrupt++ }
+
+// OnCarrier implements phy.Handler. CMAP does not carrier sense.
+func (n *Node) OnCarrier(bool) {}
+
+// OnTxDone implements phy.Handler: drives the back-to-back virtual packet
+// chain.
+func (n *Node) OnTxDone(frame.Frame) {
+	if n.cur != nil {
+		n.continueVpkt()
+	}
+}

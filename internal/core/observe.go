@@ -1,0 +1,131 @@
+package core
+
+import (
+	"repro/internal/frame"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// obsKey identifies one overheard virtual packet.
+type obsKey struct {
+	Src  frame.Addr
+	VSeq uint32
+}
+
+// obsEntry is the node's knowledge of one transmission it overheard: who
+// is sending to whom, at what rate, and the estimated on-air interval.
+// Entries are built from any decodable piece of a virtual packet — the
+// header announces the whole interval, a trailer back-dates it, and data
+// packets locate it from their index (§3.2's ongoing list, generalised
+// into a short history used for both the access decision and interferer
+// attribution).
+type obsEntry struct {
+	Src, Dst frame.Addr
+	Rate     uint8
+	VSeq     uint32
+	// EstStart and EstEnd bound the virtual packet on the air.
+	EstStart, EstEnd sim.Time
+	// VisibleAt is when the software MAC has processed the first frame of
+	// this entry (decode time + turnaround); the access decision cannot
+	// act on it earlier (§4.1).
+	VisibleAt sim.Time
+}
+
+// observations is the per-node table of overheard transmissions.
+type observations struct {
+	cfg     Config
+	entries map[obsKey]*obsEntry
+}
+
+func newObservations(cfg Config) *observations {
+	return &observations{cfg: cfg, entries: make(map[obsKey]*obsEntry)}
+}
+
+// retention is how long a finished transmission stays in the table for
+// loss attribution before pruning.
+func (o *observations) retention() sim.Time {
+	return 2 * o.cfg.vpktAirtime(o.cfg.Nvpkt)
+}
+
+// upsert merges an interval estimate for (src, vseq).
+func (o *observations) upsert(k obsKey, dst frame.Addr, rate uint8, start, end, visible sim.Time) *obsEntry {
+	e, ok := o.entries[k]
+	if !ok {
+		e = &obsEntry{Src: k.Src, Dst: dst, Rate: rate, VSeq: k.VSeq,
+			EstStart: start, EstEnd: end, VisibleAt: visible}
+		o.entries[k] = e
+		return e
+	}
+	if start < e.EstStart {
+		e.EstStart = start
+	}
+	if end > e.EstEnd {
+		e.EstEnd = end
+	}
+	if visible < e.VisibleAt {
+		e.VisibleAt = visible
+	}
+	return e
+}
+
+// noteHeader records an overheard virtual-packet header.
+func (o *observations) noteHeader(c *frame.Control, info phy.RxInfo, visible sim.Time) {
+	end := info.Start + sim.Time(c.TxTimeMicros)*sim.Microsecond
+	o.upsert(obsKey{Src: c.Src, VSeq: c.Seq}, c.Dst, c.Rate, info.Start, end, visible)
+}
+
+// noteTrailer records an overheard virtual-packet trailer, back-dating
+// the interval by the announced transmission time.
+func (o *observations) noteTrailer(c *frame.Control, info phy.RxInfo, visible sim.Time) {
+	start := info.End - sim.Time(c.TxTimeMicros)*sim.Microsecond
+	o.upsert(obsKey{Src: c.Src, VSeq: c.Seq}, c.Dst, c.Rate, start, info.End, visible)
+}
+
+// noteData records an overheard data packet, locating the whole virtual
+// packet from the packet's index.
+func (o *observations) noteData(d *frame.Data, info phy.RxInfo, visible sim.Time) {
+	start := info.Start - o.cfg.controlAirtime() - sim.Time(d.Index)*o.cfg.dataAirtime()
+	end := start + o.cfg.vpktAirtime(o.cfg.Nvpkt)
+	o.upsert(obsKey{Src: d.Src, VSeq: d.VSeq}, d.Dst, uint8(o.cfg.Rate), start, end, visible)
+}
+
+// markEnded clamps an entry's end time (a trailer was heard, so the
+// transmission is definitely over).
+func (o *observations) markEnded(src frame.Addr, vseq uint32, end sim.Time) {
+	if e, ok := o.entries[obsKey{Src: src, VSeq: vseq}]; ok && end < e.EstEnd {
+		e.EstEnd = end
+	}
+}
+
+// ongoing calls fn for every transmission believed to still be on the air
+// and visible to the software MAC.
+func (o *observations) ongoing(now sim.Time, fn func(*obsEntry)) {
+	for _, e := range o.entries {
+		if e.EstEnd > now && e.VisibleAt <= now {
+			fn(e)
+		}
+	}
+}
+
+// overlapping calls fn for every known transmission (current or recent)
+// from a source other than excl whose interval covers t.
+func (o *observations) overlapping(t sim.Time, excl frame.Addr, fn func(*obsEntry)) {
+	for _, e := range o.entries {
+		if e.Src != excl && e.EstStart <= t && t < e.EstEnd {
+			fn(e)
+		}
+	}
+}
+
+// prune drops entries that ended longer than the retention ago.
+func (o *observations) prune(now sim.Time) {
+	horizon := now - o.retention()
+	for k, e := range o.entries {
+		if e.EstEnd < horizon {
+			delete(o.entries, k)
+		}
+	}
+}
+
+// size returns the table size (diagnostics).
+func (o *observations) size() int { return len(o.entries) }

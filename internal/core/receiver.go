@@ -1,0 +1,258 @@
+package core
+
+import (
+	"repro/internal/frame"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// flowFor returns (creating if needed) the receive state for sender src.
+func (n *Node) flowFor(src frame.Addr, srcID int) *rxFlow {
+	f, ok := n.rx[src]
+	if !ok {
+		f = &rxFlow{srcID: srcID, srcAddr: src, sack: make(map[uint32]struct{})}
+		n.rx[src] = f
+	}
+	return f
+}
+
+// expectedFromTxTime recovers the data-packet count of a virtual packet
+// from its announced transmission time.
+func (n *Node) expectedFromTxTime(txMicros uint32) int {
+	dataTime := sim.Time(txMicros)*sim.Microsecond - 2*n.cfg.controlAirtime()
+	if dataTime <= 0 {
+		return 0
+	}
+	per := n.cfg.dataAirtime()
+	k := int((dataTime + per/2) / per)
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// beginVpkt opens reception state for virtual packet vseq from flow f,
+// finalising any previous one first.
+func (n *Node) beginVpkt(f *rxFlow, vseq uint32, start sim.Time, expected int, rate uint8, bcast bool) *rxVpkt {
+	if f.cur != nil && f.cur.vseq != vseq {
+		n.finalizeVpkt(f)
+	}
+	if f.cur == nil {
+		if expected <= 0 {
+			expected = n.cfg.Nvpkt
+		}
+		f.cur = &rxVpkt{
+			vseq:     vseq,
+			start:    start,
+			expected: expected,
+			got:      make([]bool, expected),
+			rate:     rate,
+			bcast:    bcast,
+		}
+		// Finalise even if the trailer never arrives (lost or sender
+		// aborted): a grace period after the expected end. With trailers
+		// disabled (ablation) this timer is also the ACK trigger, so it
+		// fires promptly.
+		end := start + n.cfg.vpktAirtime(expected)
+		grace := n.cfg.TackWait
+		if n.cfg.DisableTrailers {
+			grace = n.cfg.Turnaround
+		}
+		f.finTimer = n.sched.At(end+grace, func() {
+			f.finTimer = nil
+			if f.cur == nil || f.cur.vseq != vseq {
+				return
+			}
+			gotAny := false
+			for _, g := range f.cur.got {
+				if g {
+					gotAny = true
+					break
+				}
+			}
+			wasBcast := f.cur.bcast
+			n.finalizeVpkt(f)
+			if n.cfg.DisableTrailers && !wasBcast && gotAny {
+				n.sendAck(f, vseq, 10)
+			}
+		})
+	}
+	return f.cur
+}
+
+// rxHeader handles a virtual-packet header addressed to us.
+func (n *Node) rxHeader(c *frame.Control, info phy.RxInfo) {
+	f := n.flowFor(c.Src, info.From)
+	v := n.beginVpkt(f, c.Seq, info.Start, n.expectedFromTxTime(c.TxTimeMicros), c.Rate, c.Dst.IsBroadcast())
+	v.headerSeen = true
+}
+
+// rxData handles a data packet addressed to us (or broadcast).
+func (n *Node) rxData(d *frame.Data, info phy.RxInfo) {
+	f := n.flowFor(d.Src, info.From)
+	start := info.Start - n.cfg.controlAirtime() - sim.Time(d.Index)*n.cfg.dataAirtime()
+	v := n.beginVpkt(f, d.VSeq, start, 0, uint8(n.cfg.Rate), d.Dst.IsBroadcast())
+	if int(d.Index) < len(v.got) {
+		v.got[d.Index] = true
+	}
+
+	// Deduplicate and deliver. Broadcast flows never retransmit, so every
+	// packet is fresh; unicast flows dedup against the cumulative point
+	// and the SACK set.
+	if !d.Dst.IsBroadcast() {
+		if d.PktSeq < f.cum {
+			n.stat.Duplicates++
+			return
+		}
+		if _, dup := f.sack[d.PktSeq]; dup {
+			n.stat.Duplicates++
+			return
+		}
+		f.sack[d.PktSeq] = struct{}{}
+		for {
+			if _, ok := f.sack[f.cum]; !ok {
+				break
+			}
+			delete(f.sack, f.cum)
+			f.cum++
+		}
+	}
+	n.stat.Delivered++
+	if n.Meter != nil {
+		n.Meter.Record(n.sched.Now(), int(d.PayloadLen))
+	}
+	if n.OnDeliver != nil {
+		n.OnDeliver(info.From, d.PktSeq, n.sched.Now())
+	}
+}
+
+// rxTrailer handles a trailer addressed to us: it closes the virtual
+// packet and triggers the cumulative ACK (§3.3, §4.1).
+func (n *Node) rxTrailer(c *frame.Control, info phy.RxInfo) {
+	f := n.flowFor(c.Src, info.From)
+	start := info.End - sim.Time(c.TxTimeMicros)*sim.Microsecond
+	v := n.beginVpkt(f, c.Seq, start, n.expectedFromTxTime(c.TxTimeMicros), c.Rate, c.Dst.IsBroadcast())
+	v.trailerSeen = true
+	n.finalizeVpkt(f)
+	if !c.Dst.IsBroadcast() {
+		n.sendAck(f, c.Seq, 10)
+	}
+}
+
+// finalizeVpkt closes the current inbound virtual packet of f: computes
+// its loss, attributes lost packets to overlapping transmissions for the
+// interferer list (§3.1), and updates the visibility counters.
+func (n *Node) finalizeVpkt(f *rxFlow) {
+	v := f.cur
+	if v == nil {
+		return
+	}
+	f.cur = nil
+	if f.finTimer.Stop() {
+		f.finTimer = nil
+	}
+	received := 0
+	for _, g := range v.got {
+		if g {
+			received++
+		}
+	}
+	lost := v.expected - received
+	f.pendExpected += v.expected
+	f.pendLost += lost
+	f.VpktsSeen++
+	if v.headerSeen {
+		f.VpktsHeader++
+	}
+	if v.headerSeen || v.trailerSeen {
+		f.VpktsHdrOrTrl++
+	}
+
+	// Per-packet attribution: a lost (or received) packet slot is
+	// evidence about every transmission that overlapped its airtime.
+	now := n.sched.Now()
+	hdr := n.cfg.controlAirtime()
+	per := n.cfg.dataAirtime()
+	for i := 0; i < v.expected; i++ {
+		t := v.start + hdr + sim.Time(i)*per + per/2
+		hit := i < len(v.got) && v.got[i]
+		n.obs.overlapping(t, f.srcAddr, func(e *obsEntry) {
+			if e.Src == n.addr {
+				return
+			}
+			k := pairKey{Source: f.srcAddr, Interferer: e.Src, Rate: e.Rate}
+			st, ok := n.interfStats[k]
+			if !ok {
+				st = &interfStat{lastDecay: now}
+				n.interfStats[k] = st
+			}
+			st.decay(now, n.cfg.StatsHalfLife)
+			st.Expected++
+			if !hit {
+				st.Lost++
+			}
+		})
+	}
+	// Promote pairs over the loss threshold immediately so senders learn
+	// at the next broadcast.
+	for k, st := range n.interfStats {
+		if k.Source != f.srcAddr {
+			continue
+		}
+		if st.Expected >= float64(n.cfg.MinInterfSamples) && st.lossRate() > n.cfg.LossInterf {
+			n.interferers[k] = now + n.cfg.InterfTimeout
+		}
+	}
+}
+
+// sendAck emits the cumulative windowed ACK for flow f after the software
+// turnaround, retrying briefly if the radio is mid-transmission.
+func (n *Node) sendAck(f *rxFlow, vseq uint32, budget int) {
+	loss := 0.0
+	if f.pendExpected > 0 {
+		loss = float64(f.pendLost) / float64(f.pendExpected)
+	}
+	f.pendExpected, f.pendLost = 0, 0
+	ack := &frame.Ack{
+		Src:      n.addr,
+		Dst:      f.srcAddr,
+		CumSeq:   f.cum,
+		VSeq:     vseq,
+		LossRate: loss,
+	}
+	limit := uint32(2 * n.cfg.windowPackets())
+	for s := range f.sack {
+		if s >= f.cum && s-f.cum < limit {
+			ack.BitmapSet(int(s - f.cum))
+		}
+	}
+	var attempt func(left int)
+	attempt = func(left int) {
+		if left <= 0 {
+			return
+		}
+		if n.radio.Transmitting() {
+			n.sched.After(200*sim.Microsecond, func() { attempt(left - 1) })
+			return
+		}
+		n.stat.AcksSent++
+		n.radio.Transmit(ack, phy.RateByID(n.cfg.ControlRate))
+	}
+	n.sched.After(n.turnaroundDelay(), func() { attempt(budget) })
+}
+
+// turnaroundDelay draws the software-MAC-to-PHY latency with the
+// prototype's empirical distribution (§4.1): for Turnaround = 1 ms, 90%
+// of operations take 0.5–2 ms and the rest 2–5 ms. The jitter is load
+// bearing — it is what lets a deferring sender occasionally win the
+// channel from the current holder, as on the real testbed.
+func (n *Node) turnaroundDelay() sim.Time {
+	t := n.cfg.Turnaround
+	if t <= 0 {
+		return 0
+	}
+	if n.rng.Float64() < 0.9 {
+		return n.rng.DurationIn(t/2, 2*t)
+	}
+	return n.rng.DurationIn(2*t, 5*t)
+}

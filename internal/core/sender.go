@@ -1,0 +1,414 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/frame"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// trySend is the entry point of the Figure 6 send loop. It is re-entered
+// from every timer (backoff, defer re-check, ACK wait, retransmission
+// timeout) and bails out unless the sender is genuinely idle. Flows are
+// scanned round-robin: if the head destination must defer but another
+// has no conflict, the other is served — the §3.2 per-destination-queue
+// optimisation (with one flow this degenerates to the plain algorithm).
+func (n *Node) trySend() {
+	if len(n.flows) == 0 || n.cur != nil || n.waitAck {
+		return
+	}
+	if n.backoffTimer.Active() || n.deferTimer.Active() || n.retryTimer.Active() {
+		return
+	}
+	if n.radio.Transmitting() {
+		// An ACK or interferer list of ours is on the air; come back.
+		n.retryTimer = n.sched.After(200*sim.Microsecond, func() {
+			n.retryTimer = nil
+			n.trySend()
+		})
+		return
+	}
+	now := n.sched.Now()
+	n.obs.prune(now)
+	n.deferTab.prune(now)
+
+	var earliestEnd sim.Time
+	conflicted := false
+	sendable := false
+	totalUnacked := 0
+	for _, f := range n.flows {
+		totalUnacked += len(f.unacked)
+	}
+	start := n.rrNext
+	for k := 0; k < len(n.flows); k++ {
+		f := n.flows[(start+k)%len(n.flows)]
+		seqs, isRetx := n.candidate(f)
+		if len(seqs) == 0 {
+			continue
+		}
+		sendable = true
+		// The transmission decision process (§3.2), once per virtual
+		// packet.
+		if end, conflict := n.deferConflictEnd(now, f); conflict {
+			conflicted = true
+			if earliestEnd == 0 || end < earliestEnd {
+				earliestEnd = end
+			}
+			continue // try the next destination's queue
+		}
+		n.rrNext = (start + k + 1) % len(n.flows)
+		n.startVpkt(f, seqs, isRetx)
+		return
+	}
+
+	switch {
+	case conflicted:
+		// Every sendable flow conflicts: wait until the earliest
+		// conflicting transmission ends plus tdeferwait, then check
+		// again. The re-check carries the software MAC's scheduling slop
+		// (§4.1).
+		n.stat.Defers++
+		wait := earliestEnd + n.cfg.TdeferWait + n.rng.DurationIn(0, n.cfg.Turnaround)
+		if wait <= now {
+			wait = now + n.cfg.TdeferWait
+		}
+		n.deferTimer = n.sched.At(wait, func() {
+			n.deferTimer = nil
+			n.trySend()
+		})
+	case !sendable && totalUnacked > 0 && !n.retxTimer.Active():
+		// Nothing sendable but packets are stuck unacknowledged: arm the
+		// retransmission timeout (§3.3). The paper sizes τmax as the
+		// airtime of a full window so a transmission interfering at the
+		// destination can complete; we apply the same rationale to the
+		// actual outstanding amount, which reduces to the paper's choice
+		// exactly when the window is full and keeps finite-batch tails
+		// from waiting out a full-window timeout.
+		tauMin, tauMax := n.cfg.tauBounds()
+		scaled := sim.Time(totalUnacked)*n.cfg.dataAirtime() + n.cfg.vpktAirtime(n.cfg.Nvpkt)
+		if scaled < tauMax {
+			tauMax = scaled
+		}
+		if tauMin > tauMax/2 {
+			tauMin = tauMax / 2
+		}
+		n.retxTimer = n.sched.After(n.rng.DurationIn(tauMin, tauMax), n.retxTimedOut)
+	}
+}
+
+// candidate picks the data packets for flow f's next virtual packet:
+// pending retransmissions first, else fresh packets if the window has
+// room. It does not consume anything; startVpkt does.
+func (n *Node) candidate(f *txFlow) ([]uint32, bool) {
+	// Drop retransmission candidates acknowledged in the meantime.
+	live := f.retx[:0]
+	for _, s := range f.retx {
+		if _, ok := f.unacked[s]; ok {
+			live = append(live, s)
+		}
+	}
+	f.retx = live
+	if len(f.retx) > 0 {
+		k := len(f.retx)
+		if k > n.cfg.Nvpkt {
+			k = n.cfg.Nvpkt
+		}
+		return f.retx[:k], true
+	}
+	avail := f.backlog
+	if f.saturated {
+		avail = n.cfg.Nvpkt
+	}
+	if avail > n.cfg.Nvpkt {
+		avail = n.cfg.Nvpkt
+	}
+	if avail == 0 {
+		return nil, false
+	}
+	if !f.bcast {
+		room := n.cfg.windowPackets() - len(f.unacked)
+		if room < avail {
+			return nil, false
+		}
+	}
+	seqs := make([]uint32, avail)
+	for i := range seqs {
+		seqs[i] = f.nextPktSeq + uint32(i)
+	}
+	return seqs, false
+}
+
+// deferConflictEnd scans the ongoing list against the defer table and
+// reports the earliest end among transmissions conflicting with flow f
+// (§3.2). A transmission conflicts if the destination is busy sending or
+// receiving, if we ourselves are its receiver, or if a defer pattern
+// matches.
+func (n *Node) deferConflictEnd(now sim.Time, f *txFlow) (sim.Time, bool) {
+	var earliest sim.Time
+	found := false
+	note := func(end sim.Time) {
+		if !found || end < earliest {
+			earliest = end
+			found = true
+		}
+	}
+	targets := f.bcastTargets
+	if !f.bcast {
+		targets = []frame.Addr{f.dst}
+	}
+	n.obs.ongoing(now, func(e *obsEntry) {
+		if e.Src == n.addr {
+			return
+		}
+		if e.Dst == n.addr {
+			// We are that transmission's receiver; transmitting now would
+			// abort it.
+			note(e.EstEnd)
+			return
+		}
+		for _, v := range targets {
+			if e.Src == v || e.Dst == v {
+				note(e.EstEnd) // destination busy sending or receiving
+				return
+			}
+			if n.deferTab.conflicts(now, v, e.Src, e.Dst, e.Rate) {
+				note(e.EstEnd)
+				return
+			}
+		}
+	})
+	return earliest, found
+}
+
+// startVpkt begins the header → data… → trailer chain for one virtual
+// packet of flow f, consuming the candidate packets.
+func (n *Node) startVpkt(f *txFlow, seqs []uint32, isRetx bool) {
+	if isRetx {
+		f.retx = f.retx[len(seqs):]
+		seqs = append([]uint32(nil), seqs...)
+	} else {
+		f.nextPktSeq += uint32(len(seqs))
+		if !f.saturated {
+			f.backlog -= len(seqs)
+		}
+		if !f.bcast {
+			for _, s := range seqs {
+				f.unacked[s] = struct{}{}
+			}
+		}
+	}
+	vseq := n.nextVSeq
+	n.nextVSeq++
+	n.cur = &vpktTx{flow: f, vseq: vseq, seqs: seqs, isRetx: isRetx}
+	n.stat.VpktsSent++
+	txMicros := uint32(n.cfg.vpktAirtime(len(seqs)) / sim.Microsecond)
+	hdr := &frame.Control{
+		Src:          n.addr,
+		Dst:          f.dst,
+		TxTimeMicros: txMicros,
+		Seq:          vseq,
+		Rate:         uint8(n.cfg.Rate),
+	}
+	n.radio.Transmit(hdr, phy.RateByID(n.cfg.ControlRate))
+}
+
+// continueVpkt transmits the next frame of the in-progress virtual packet
+// with no interframe gap, as the prototype does (§4.1).
+func (n *Node) continueVpkt() {
+	c := n.cur
+	switch {
+	case c.next < len(c.seqs):
+		i := c.next
+		c.next++
+		d := &frame.Data{
+			Src:        n.addr,
+			Dst:        c.flow.dst,
+			PktSeq:     c.seqs[i],
+			VSeq:       c.vseq,
+			Index:      uint16(i),
+			PayloadLen: uint16(n.cfg.PayloadBytes),
+		}
+		n.stat.DataSent++
+		n.radio.Transmit(d, phy.RateByID(n.cfg.Rate))
+	case !c.trailerSent && !n.cfg.DisableTrailers:
+		c.trailerSent = true
+		trl := &frame.Control{
+			Trailer:      true,
+			Src:          n.addr,
+			Dst:          c.flow.dst,
+			TxTimeMicros: uint32(n.cfg.vpktAirtime(len(c.seqs)) / sim.Microsecond),
+			Seq:          c.vseq,
+			Rate:         uint8(n.cfg.Rate),
+		}
+		n.radio.Transmit(trl, phy.RateByID(n.cfg.ControlRate))
+	default:
+		f := c.flow
+		n.cur = nil
+		n.finishVpkt(f)
+	}
+}
+
+// finishVpkt runs after the trailer: broadcast flows go straight to
+// backoff; unicast flows wait up to tackwait for an ACK (Figure 6).
+func (n *Node) finishVpkt(f *txFlow) {
+	if f.bcast {
+		n.startBackoff()
+		return
+	}
+	n.waitAck = true
+	n.ackTimer = n.sched.After(n.cfg.TackWait, func() {
+		n.ackTimer = nil
+		n.waitAck = false
+		n.stat.AckWaitExpired++
+		if n.cfg.BackoffOnMissingAck {
+			// Ablation: 802.11-style growth on every missing ACK.
+			if n.cw == 0 {
+				n.cw = n.cfg.CWStart
+			} else if n.cw < n.cfg.CWMax {
+				n.cw *= 2
+				if n.cw > n.cfg.CWMax {
+					n.cw = n.cfg.CWMax
+				}
+			}
+		}
+		n.startBackoff()
+	})
+}
+
+// startBackoff waits a uniform duration in [0, CW] before the next
+// virtual packet (§3.4), plus the software MAC's transmit-path latency
+// (§4.1) — the prototype cannot fire the next header the same instant an
+// ACK finishes decoding.
+func (n *Node) startBackoff() {
+	d := n.turnaroundDelay()
+	if n.cw > 0 {
+		b := n.rng.DurationIn(0, n.cw)
+		if b > 0 {
+			n.stat.Backoffs++
+			d += b
+		}
+	}
+	n.backoffTimer = n.sched.After(d, func() {
+		n.backoffTimer = nil
+		n.trySend()
+	})
+}
+
+// onAck processes a cumulative windowed ACK (Figure 7). The ACK's source
+// identifies which flow it acknowledges.
+func (n *Node) onAck(a *frame.Ack) {
+	n.stat.AcksReceived++
+	if f, ok := n.flowByDst[a.Src]; ok {
+		for s := range f.unacked {
+			if s < a.CumSeq || a.BitmapGet(int(s-a.CumSeq)) {
+				delete(f.unacked, s)
+			}
+		}
+	}
+	// Loss-rate-driven contention window (Figure 7): grow on reported
+	// loss above l_backoff, reset otherwise. Never touched on missing
+	// ACKs. (Under the 802.11-style ablation, any ACK resets it.)
+	if n.cfg.BackoffOnMissingAck {
+		n.cw = 0
+	} else if a.LossRate > n.cfg.LossBackoff {
+		if n.cw == 0 {
+			n.cw = n.cfg.CWStart
+		} else if n.cw < n.cfg.CWMax {
+			n.cw *= 2
+			if n.cw > n.cfg.CWMax {
+				n.cw = n.cfg.CWMax
+			}
+		}
+	} else {
+		n.cw = 0
+	}
+	// Progress: the retransmission timeout restarts from scratch if still
+	// needed.
+	if n.retxTimer.Stop() {
+		n.retxTimer = nil
+	}
+	if n.waitAck {
+		if n.ackTimer.Stop() {
+			n.ackTimer = nil
+		}
+		n.waitAck = false
+		n.startBackoff()
+		return
+	}
+	// Re-enter the send loop through the software transmit path so the
+	// next frame never starts the very instant the ACK ended.
+	n.sched.After(n.turnaroundDelay(), n.trySend)
+}
+
+// retxTimedOut queues every unacknowledged packet of every flow for
+// retransmission in sequence (§3.3).
+func (n *Node) retxTimedOut() {
+	n.retxTimer = nil
+	n.stat.RetxTimeouts++
+	for _, f := range n.flows {
+		f.retx = f.retx[:0]
+		for s := range f.unacked {
+			f.retx = append(f.retx, s)
+		}
+		sort.Slice(f.retx, func(i, j int) bool { return f.retx[i] < f.retx[j] })
+	}
+	n.trySend()
+}
+
+// broadcastTick periodically broadcasts the interferer list to one-hop
+// neighbours (§3.1) and decays stale statistics.
+func (n *Node) broadcastTick() {
+	now := n.sched.Now()
+	period := n.cfg.BroadcastPeriod
+	n.sched.After(n.rng.DurationIn(period*9/10, period*11/10), n.broadcastTick)
+
+	// Refresh the interferer list from current statistics.
+	for k, st := range n.interfStats {
+		st.decay(now, n.cfg.StatsHalfLife)
+		if st.Expected >= float64(n.cfg.MinInterfSamples) && st.lossRate() > n.cfg.LossInterf {
+			n.interferers[k] = now + n.cfg.InterfTimeout
+		}
+		if st.Expected < 1 {
+			delete(n.interfStats, k)
+		}
+	}
+	list := &frame.InterfererList{Src: n.addr}
+	for k, exp := range n.interferers {
+		if exp <= now {
+			delete(n.interferers, k)
+			continue
+		}
+		list.Entries = append(list.Entries, frame.InterferenceEntry{
+			Source:     k.Source,
+			Interferer: k.Interferer,
+			Rate:       k.Rate,
+		})
+	}
+	if len(list.Entries) == 0 {
+		return
+	}
+	// Stable wire order regardless of map iteration.
+	sort.Slice(list.Entries, func(i, j int) bool {
+		a, b := list.Entries[i], list.Entries[j]
+		if a.Source != b.Source {
+			return a.Source.String() < b.Source.String()
+		}
+		return a.Interferer.String() < b.Interferer.String()
+	})
+	n.sendListWithRetries(list, 8)
+}
+
+// sendListWithRetries transmits the interferer list as soon as the radio
+// is free, giving up after the retry budget.
+func (n *Node) sendListWithRetries(list *frame.InterfererList, budget int) {
+	if budget <= 0 {
+		return
+	}
+	if n.radio.Transmitting() || n.cur != nil {
+		n.sched.After(2*sim.Millisecond, func() { n.sendListWithRetries(list, budget-1) })
+		return
+	}
+	n.stat.ListsSent++
+	n.radio.Transmit(list, phy.RateByID(n.cfg.ControlRate))
+}

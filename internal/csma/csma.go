@@ -1,0 +1,389 @@
+// Package csma implements the 802.11 DCF baseline MAC the paper compares
+// against ("the status quo"): physical carrier sense with DIFS deferral
+// and slotted binary-exponential backoff, stop-and-wait link-layer ACKs
+// with retransmission, and per-experiment switches to disable carrier
+// sense and/or ACKs — the four baseline arms of every figure.
+package csma
+
+import (
+	"repro/internal/frame"
+	"repro/internal/medium"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config selects the baseline's behaviour.
+type Config struct {
+	// CarrierSense enables physical carrier sense ("CS on"). When false
+	// the node transmits after its interframe spacing and backoff without
+	// consulting the medium ("CS off").
+	CarrierSense bool
+	// LinkACKs enables stop-and-wait ACKs and retransmission. When false
+	// packets are sent exactly once ("no acks").
+	LinkACKs bool
+	// Rate is the data bit-rate.
+	Rate phy.RateID
+	// ControlRate is the rate for ACK frames (802.11 sends ACKs at a
+	// basic rate).
+	ControlRate phy.RateID
+	// PayloadBytes is the application payload per packet.
+	PayloadBytes int
+	// CWMin and CWMax bound the contention window in slots (802.11a:
+	// 15 and 1023).
+	CWMin, CWMax int
+	// RetryLimit caps retransmissions of one packet.
+	RetryLimit int
+}
+
+// DefaultConfig returns the 802.11a defaults used throughout the
+// evaluation: carrier sense on, ACKs on, 6 Mb/s, 1400-byte payloads.
+func DefaultConfig() Config {
+	return Config{
+		CarrierSense: true,
+		LinkACKs:     true,
+		Rate:         phy.Rate6Mbps,
+		ControlRate:  phy.Rate6Mbps,
+		PayloadBytes: 1400,
+		CWMin:        15,
+		CWMax:        1023,
+		RetryLimit:   7,
+	}
+}
+
+// DeliverFunc observes each non-duplicate payload delivery at a receiver.
+type DeliverFunc func(src int, seq uint32, now sim.Time)
+
+// Node is one 802.11 DCF station. Create it with New, point traffic at it
+// with SetSaturated or Enqueue, then run the scheduler.
+type Node struct {
+	id    int
+	cfg   Config
+	radio *phy.Radio
+	sched *sim.Scheduler
+	rng   *sim.RNG
+	addr  frame.Addr
+
+	// Meter, when set, records non-duplicate deliveries at this node.
+	Meter *stats.Meter
+	// OnDeliver, when set, observes non-duplicate deliveries (used to
+	// chain mesh forwarding).
+	OnDeliver DeliverFunc
+
+	// Sender state.
+	saturated bool
+	satDst    int
+	queue     []int // destination per queued packet
+	pending   *frame.Dot11Data
+	pendDst   int
+	retries   int
+	cw        int
+	backoff   int // remaining backoff slots
+	wantsTx   bool
+	waitAck   bool
+
+	difsTimer *sim.Timer
+	slotTimer *sim.Timer
+	ackTimer  *sim.Timer
+
+	// Receiver state: last delivered seq per source. Stop-and-wait means
+	// a duplicate can only be a retransmission of the most recent packet,
+	// which is how 802.11's dedup cache works and keeps seq wrap safe.
+	lastSeq map[int]uint16
+	gotAny  map[int]bool
+
+	stat Stats
+}
+
+// Stats counts protocol events at one node.
+type Stats struct {
+	Sent       uint64 // data transmissions put on air (incl. retries)
+	Delivered  uint64 // non-duplicate data packets received for us
+	Duplicates uint64
+	AcksSent   uint64
+	AckTimeout uint64
+	Dropped    uint64 // packets abandoned after RetryLimit
+}
+
+// New creates a DCF node on medium node id.
+func New(id int, cfg Config, m *medium.Medium, rng *sim.RNG) *Node {
+	n := &Node{
+		id:      id,
+		cfg:     cfg,
+		radio:   m.Radio(id),
+		sched:   m.Scheduler(),
+		rng:     rng,
+		addr:    frame.AddrFromID(id),
+		cw:      cfg.CWMin,
+		lastSeq: make(map[int]uint16),
+		gotAny:  make(map[int]bool),
+	}
+	n.radio.SetHandler(n)
+	return n
+}
+
+// ID returns the node's medium index.
+func (n *Node) ID() int { return n.id }
+
+// Stats returns a copy of the node's counters.
+func (n *Node) Stats() Stats { return n.stat }
+
+// BroadcastDst is the pseudo-destination for 802.11 broadcast frames:
+// they carry the broadcast address and are never ACKed or retried.
+const BroadcastDst = -1
+
+// SetSaturated makes the node a backlogged source towards dst (or
+// BroadcastDst): it always has the next packet ready, the paper's
+// traffic model.
+func (n *Node) SetSaturated(dst int) {
+	n.saturated = true
+	n.satDst = dst
+	n.kick()
+}
+
+// Enqueue adds count packets destined to dst.
+func (n *Node) Enqueue(dst int, count int) {
+	for i := 0; i < count; i++ {
+		n.queue = append(n.queue, dst)
+	}
+	n.kick()
+}
+
+// QueueLen returns the number of queued (not yet attempted) packets.
+func (n *Node) QueueLen() int { return len(n.queue) }
+
+// Idle reports whether the sender has nothing left to do. Saturated
+// senders are never idle.
+func (n *Node) Idle() bool {
+	if n.saturated {
+		return false
+	}
+	return n.pending == nil && len(n.queue) == 0 && !n.waitAck
+}
+
+// kick starts channel access if there is work and the node is idle.
+func (n *Node) kick() {
+	if n.pending != nil || n.waitAck {
+		return
+	}
+	if !n.makeNext() {
+		return
+	}
+	n.drawBackoff()
+	n.beginAccess()
+}
+
+// makeNext stages the next packet. It reports false if there is nothing
+// to send.
+func (n *Node) makeNext() bool {
+	dst := -1
+	switch {
+	case len(n.queue) > 0:
+		dst = n.queue[0]
+		n.queue = n.queue[1:]
+	case n.saturated:
+		dst = n.satDst
+	default:
+		return false
+	}
+	n.pendDst = dst
+	da := frame.Broadcast
+	if dst != BroadcastDst {
+		da = frame.AddrFromID(dst)
+	}
+	n.pending = &frame.Dot11Data{
+		Src:        n.addr,
+		Dst:        da,
+		Seq:        uint16(n.stat.Sent + n.stat.Dropped),
+		PayloadLen: uint16(n.cfg.PayloadBytes),
+	}
+	n.retries = 0
+	return true
+}
+
+// drawBackoff picks a fresh backoff from the current contention window.
+func (n *Node) drawBackoff() {
+	n.backoff = n.rng.Intn(n.cw + 1)
+}
+
+// beginAccess starts the DIFS + backoff procedure for the staged packet.
+func (n *Node) beginAccess() {
+	if n.pending == nil {
+		return
+	}
+	n.wantsTx = true
+	if n.cfg.CarrierSense && n.radio.CarrierBusy() {
+		return // resume on the idle edge
+	}
+	n.startDIFS()
+}
+
+func (n *Node) startDIFS() {
+	n.stopAccessTimers()
+	n.difsTimer = n.sched.After(phy.DIFS, n.difsElapsed)
+}
+
+func (n *Node) difsElapsed() {
+	n.difsTimer = nil
+	n.countdown()
+}
+
+// countdown burns backoff slots; with carrier sense the timers are
+// cancelled on busy edges and the countdown resumes after the next idle
+// DIFS, freezing the remaining slots as DCF specifies.
+func (n *Node) countdown() {
+	if n.backoff <= 0 {
+		n.transmitData()
+		return
+	}
+	n.slotTimer = n.sched.After(phy.SlotTime, func() {
+		n.slotTimer = nil
+		n.backoff--
+		n.countdown()
+	})
+}
+
+func (n *Node) stopAccessTimers() {
+	if n.difsTimer != nil {
+		n.difsTimer.Stop()
+		n.difsTimer = nil
+	}
+	if n.slotTimer != nil {
+		n.slotTimer.Stop()
+		n.slotTimer = nil
+	}
+}
+
+func (n *Node) transmitData() {
+	n.wantsTx = false
+	if n.radio.Transmitting() {
+		// An ACK we owed someone is on the air; retry shortly.
+		n.sched.After(phy.SlotTime, n.beginAccess)
+		return
+	}
+	n.stat.Sent++
+	n.radio.Transmit(n.pending, phy.RateByID(n.cfg.Rate))
+}
+
+// ackTimeout is how long a sender waits for the stop-and-wait ACK.
+func (n *Node) ackTimeout() sim.Time {
+	ackAir := phy.Airtime(phy.RateByID(n.cfg.ControlRate), (&frame.Dot11Ack{}).WireSize())
+	return phy.SIFS + ackAir + 2*phy.SlotTime
+}
+
+// OnTxDone implements phy.Handler.
+func (n *Node) OnTxDone(f frame.Frame) {
+	switch ff := f.(type) {
+	case *frame.Dot11Data:
+		if n.cfg.LinkACKs && !ff.Dst.IsBroadcast() {
+			n.waitAck = true
+			n.ackTimer = n.sched.After(n.ackTimeout(), n.ackTimedOut)
+			return
+		}
+		// Broadcast or fire-and-forget: next packet immediately.
+		n.pending = nil
+		n.cw = n.cfg.CWMin
+		if n.makeNext() {
+			n.drawBackoff()
+			n.beginAccess()
+		}
+	case *frame.Dot11Ack:
+		// Receiver side: nothing to do after an ACK.
+	}
+}
+
+func (n *Node) ackTimedOut() {
+	n.ackTimer = nil
+	n.waitAck = false
+	n.stat.AckTimeout++
+	n.retries++
+	if n.retries > n.cfg.RetryLimit {
+		n.stat.Dropped++
+		n.pending = nil
+		n.cw = n.cfg.CWMin
+		if n.makeNext() {
+			n.drawBackoff()
+			n.beginAccess()
+		}
+		return
+	}
+	n.pending.Retry = true
+	if n.cw < n.cfg.CWMax {
+		n.cw = 2*n.cw + 1
+		if n.cw > n.cfg.CWMax {
+			n.cw = n.cfg.CWMax
+		}
+	}
+	n.drawBackoff()
+	n.beginAccess()
+}
+
+// OnFrame implements phy.Handler.
+func (n *Node) OnFrame(f frame.Frame, info phy.RxInfo) {
+	switch ff := f.(type) {
+	case *frame.Dot11Data:
+		if ff.Dst != n.addr && !ff.Dst.IsBroadcast() {
+			return
+		}
+		if n.gotAny[info.From] && n.lastSeq[info.From] == ff.Seq {
+			n.stat.Duplicates++
+		} else {
+			n.gotAny[info.From] = true
+			n.lastSeq[info.From] = ff.Seq
+			n.stat.Delivered++
+			if n.Meter != nil {
+				n.Meter.Record(n.sched.Now(), int(ff.PayloadLen))
+			}
+			if n.OnDeliver != nil {
+				n.OnDeliver(info.From, uint32(ff.Seq), n.sched.Now())
+			}
+		}
+		if n.cfg.LinkACKs && !ff.Dst.IsBroadcast() {
+			ack := &frame.Dot11Ack{Dst: ff.Src, Seq: ff.Seq}
+			n.sched.After(phy.SIFS, func() {
+				if n.radio.Transmitting() {
+					return // our own frame is on air; sender will retry
+				}
+				n.stat.AcksSent++
+				n.radio.Transmit(ack, phy.RateByID(n.cfg.ControlRate))
+			})
+		}
+	case *frame.Dot11Ack:
+		if ff.Dst != n.addr || !n.waitAck || n.pending == nil {
+			return
+		}
+		if ff.Seq != n.pending.Seq {
+			return
+		}
+		if n.ackTimer != nil {
+			n.ackTimer.Stop()
+			n.ackTimer = nil
+		}
+		n.waitAck = false
+		n.pending = nil
+		n.retries = 0
+		n.cw = n.cfg.CWMin
+		if n.makeNext() {
+			n.drawBackoff()
+			n.beginAccess()
+		}
+	}
+}
+
+// OnCorrupt implements phy.Handler. DCF learns nothing from corrupted
+// frames beyond the carrier-sense busy period it already observed.
+func (n *Node) OnCorrupt(phy.RxInfo) {}
+
+// OnCarrier implements phy.Handler: freeze/resume the access procedure.
+func (n *Node) OnCarrier(busy bool) {
+	if !n.cfg.CarrierSense {
+		return
+	}
+	if busy {
+		n.stopAccessTimers()
+		return
+	}
+	if n.wantsTx && n.pending != nil && !n.waitAck {
+		n.startDIFS()
+	}
+}

@@ -1,0 +1,280 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5). Each experiment selects topologies from a testbed with
+// the paper's constraints (Figure 11), runs the protocol arms the figure
+// compares, and returns the same rows or series the paper reports.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/csma"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Protocol enumerates the arms that appear across the evaluation.
+type Protocol int
+
+// The protocol arms of §5. The CSMA arms are 802.11 DCF with the
+// carrier-sense and link-ACK switches the paper toggles; CMAP and
+// CMAPWin1 are the conflict-map link layer with Nwindow 8 and 1.
+const (
+	CSMAOn Protocol = iota // "CS, acks" — the status quo
+	CSMAOnNoAcks
+	CSMAOffAcks   // "CS off, acks"
+	CSMAOffNoAcks // "CS off, no acks"
+	CMAP
+	CMAPWin1 // CMAP with a send window of one virtual packet
+)
+
+// String returns the label used in the paper's figure legends.
+func (p Protocol) String() string {
+	switch p {
+	case CSMAOn:
+		return "CS, acks"
+	case CSMAOnNoAcks:
+		return "CS, no acks"
+	case CSMAOffAcks:
+		return "CS off, acks"
+	case CSMAOffNoAcks:
+		return "CS off, no acks"
+	case CMAP:
+		return "CMAP"
+	case CMAPWin1:
+		return "CMAP, win=1"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// Options scales the experiments. The zero value is unusable; use
+// Defaults (paper-exact) or Quick (CI-sized).
+type Options struct {
+	// Seed drives topology generation, selection and all protocol
+	// randomness. The same seed reproduces identical numbers.
+	Seed uint64
+	// Nodes is the testbed size (the paper's is 50).
+	Nodes int
+	// Duration is one run's virtual time; Warmup is how much of its start
+	// is excluded from measurement. The paper runs 100 s and measures the
+	// last 60 s.
+	Duration, Warmup sim.Time
+	// Pairs is the number of topologies per experiment (the paper uses 50
+	// link pairs, 500 interferer triples, 10 AP runs per N, 10 meshes).
+	Pairs int
+	// Triples is the §5.4 sample count.
+	Triples int
+	// APRuns is the number of runs per access-point count.
+	APRuns int
+	// Meshes is the number of §5.7 topologies.
+	Meshes int
+	// Rate is the common data bit-rate.
+	Rate phy.RateID
+}
+
+// Defaults returns the paper-exact scale: 100-second runs measured over
+// the last 60 seconds, 50 topologies per experiment.
+func Defaults(seed uint64) Options {
+	return Options{
+		Seed:     seed,
+		Nodes:    50,
+		Duration: 100 * sim.Second,
+		Warmup:   40 * sim.Second,
+		Pairs:    50,
+		Triples:  500,
+		APRuns:   10,
+		Meshes:   10,
+		Rate:     phy.Rate6Mbps,
+	}
+}
+
+// Quick returns a scaled-down configuration for tests and benchmarks:
+// the same protocol dynamics over shorter runs and fewer topologies.
+func Quick(seed uint64) Options {
+	return Options{
+		Seed:     seed,
+		Nodes:    50,
+		Duration: 12 * sim.Second,
+		Warmup:   6 * sim.Second,
+		Pairs:    10,
+		Triples:  60,
+		APRuns:   3,
+		Meshes:   4,
+		Rate:     phy.Rate6Mbps,
+	}
+}
+
+// FlowResult is one sender→receiver flow's outcome in a run.
+type FlowResult struct {
+	Link topo.Link
+	Mbps float64
+	// CMAP-only visibility counters (Figures 16 and 19): virtual packets
+	// the sender transmitted, and of those, how many the receiver saw a
+	// header / a header-or-trailer for.
+	VpktsSent       uint64
+	VpktsHeader     uint64
+	VpktsHdrOrTrail uint64
+}
+
+// HeaderFrac returns the fraction of transmitted virtual packets whose
+// header the receiver decoded.
+func (r FlowResult) HeaderFrac() float64 {
+	if r.VpktsSent == 0 {
+		return 0
+	}
+	return float64(r.VpktsHeader) / float64(r.VpktsSent)
+}
+
+// HdrOrTrailFrac returns the fraction of transmitted virtual packets for
+// which the receiver decoded the header or the trailer.
+func (r FlowResult) HdrOrTrailFrac() float64 {
+	if r.VpktsSent == 0 {
+		return 0
+	}
+	return float64(r.VpktsHdrOrTrail) / float64(r.VpktsSent)
+}
+
+// runFlows runs the given saturated unicast flows over a fresh build of
+// the testbed under one protocol arm and returns per-flow goodput (and
+// CMAP visibility counters).
+func runFlows(tb *topo.Testbed, flows []topo.Link, p Protocol, opt Options, runSeed uint64) []FlowResult {
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(runSeed)
+	m := tb.Build(sched, rng.Stream(1))
+	meters := make([]*stats.Meter, len(flows))
+	results := make([]FlowResult, len(flows))
+
+	switch p {
+	case CMAP, CMAPWin1:
+		cfg := core.DefaultConfig()
+		cfg.Rate = opt.Rate
+		if p == CMAPWin1 {
+			cfg.Nwindow = 1
+		}
+		senders := make([]*core.Node, len(flows))
+		receivers := make([]*core.Node, len(flows))
+		nodes := map[int]*core.Node{}
+		mk := func(id int) *core.Node {
+			if n, ok := nodes[id]; ok {
+				return n
+			}
+			n := core.New(id, cfg, m, rng.Stream(uint64(1000+id)))
+			nodes[id] = n
+			return n
+		}
+		for i, f := range flows {
+			senders[i] = mk(f.Src)
+			receivers[i] = mk(f.Dst)
+			meters[i] = &stats.Meter{Start: opt.Warmup, End: opt.Duration}
+			receivers[i].Meter = meters[i]
+			senders[i].SetSaturated(f.Dst)
+		}
+		sched.Run(opt.Duration)
+		for i, f := range flows {
+			seen, hdr, hot := receivers[i].FlowCounters(f.Src)
+			_ = seen
+			results[i] = FlowResult{
+				Link:            f,
+				Mbps:            meters[i].Mbps(),
+				VpktsSent:       senders[i].Stats().VpktsSent,
+				VpktsHeader:     hdr,
+				VpktsHdrOrTrail: hot,
+			}
+		}
+	default:
+		cfg := csma.DefaultConfig()
+		cfg.Rate = opt.Rate
+		cfg.CarrierSense = p == CSMAOn || p == CSMAOnNoAcks
+		cfg.LinkACKs = p == CSMAOn || p == CSMAOffAcks
+		nodes := map[int]*csma.Node{}
+		mk := func(id int) *csma.Node {
+			if n, ok := nodes[id]; ok {
+				return n
+			}
+			n := csma.New(id, cfg, m, rng.Stream(uint64(1000+id)))
+			nodes[id] = n
+			return n
+		}
+		for i, f := range flows {
+			tx := mk(f.Src)
+			rx := mk(f.Dst)
+			meters[i] = &stats.Meter{Start: opt.Warmup, End: opt.Duration}
+			rx.Meter = meters[i]
+			tx.SetSaturated(f.Dst)
+		}
+		sched.Run(opt.Duration)
+		for i, f := range flows {
+			results[i] = FlowResult{Link: f, Mbps: meters[i].Mbps()}
+		}
+	}
+	return results
+}
+
+// aggregate sums the goodput of all flows in a run.
+func aggregate(rs []FlowResult) float64 {
+	var s float64
+	for _, r := range rs {
+		s += r.Mbps
+	}
+	return s
+}
+
+// PairExperiment is the common result shape of the two-flow experiments
+// (Figures 12, 13, 15, 20): an aggregate-throughput distribution per arm.
+type PairExperiment struct {
+	Name  string
+	Arms  []Protocol
+	Dists map[Protocol]*stats.Dist
+	// Flows keeps per-arm per-run flow results for follow-on analyses
+	// (Figure 16 uses the CMAP runs).
+	Flows map[Protocol][][]FlowResult
+}
+
+// runPairExperiment measures every pair under every arm.
+func runPairExperiment(name string, tb *topo.Testbed, pairs []topo.LinkPair, arms []Protocol, opt Options) *PairExperiment {
+	ex := &PairExperiment{
+		Name:  name,
+		Arms:  arms,
+		Dists: map[Protocol]*stats.Dist{},
+		Flows: map[Protocol][][]FlowResult{},
+	}
+	for _, arm := range arms {
+		ex.Dists[arm] = &stats.Dist{}
+	}
+	for i, pair := range pairs {
+		flows := []topo.Link{pair.A, pair.B}
+		for _, arm := range arms {
+			rs := runFlows(tb, flows, arm, opt, opt.Seed+uint64(i)*7919+uint64(arm)*104729)
+			ex.Dists[arm].Add(aggregate(rs))
+			ex.Flows[arm] = append(ex.Flows[arm], rs)
+		}
+	}
+	return ex
+}
+
+// Median returns the median aggregate throughput of one arm.
+func (ex *PairExperiment) Median(p Protocol) float64 { return ex.Dists[p].Median() }
+
+// Gain returns the ratio of medians a/b.
+func (ex *PairExperiment) Gain(a, b Protocol) float64 {
+	den := ex.Median(b)
+	if den == 0 {
+		return 0
+	}
+	return ex.Median(a) / den
+}
+
+// Format renders the experiment as percentile columns per arm (the
+// textual stand-in for the paper's CDF plots).
+func (ex *PairExperiment) Format() string {
+	names := make([]string, len(ex.Arms))
+	dists := make([]*stats.Dist, len(ex.Arms))
+	for i, a := range ex.Arms {
+		names[i] = a.String()
+		dists[i] = ex.Dists[a]
+	}
+	return ex.Name + " (aggregate Mb/s)\n" + stats.FormatCDFs(names, dists)
+}

@@ -1,0 +1,555 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/csma"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Calibration reproduces §4.2's single-link comparison: CMAP and 802.11
+// goodput over the same strong link (paper: 5.04 vs 5.07 Mb/s at 6 Mb/s).
+type Calibration struct {
+	CMAPMbps, Dot11Mbps float64
+}
+
+// RunCalibration measures both protocols on the strongest potential link.
+func RunCalibration(tb *topo.Testbed, opt Options) Calibration {
+	best := topo.Link{Src: -1}
+	bestRSS := math.Inf(-1)
+	for a := 0; a < tb.N; a++ {
+		for b := 0; b < tb.N; b++ {
+			if tb.PotentialLink(a, b) && tb.RSS[a][b] > bestRSS {
+				bestRSS = tb.RSS[a][b]
+				best = topo.Link{Src: a, Dst: b}
+			}
+		}
+	}
+	if best.Src == -1 {
+		return Calibration{}
+	}
+	flows := []topo.Link{best}
+	cm := runFlows(tb, flows, CMAP, opt, opt.Seed+11)
+	dt := runFlows(tb, flows, CSMAOn, opt, opt.Seed+13)
+	return Calibration{CMAPMbps: cm[0].Mbps, Dot11Mbps: dt[0].Mbps}
+}
+
+// ExposedTerminals reproduces Figure 12: 50 exposed-terminal
+// configurations (§5.2 constraints) under CS+acks, CS-off+no-acks, CMAP,
+// and CMAP with window 1. The paper's headline: CMAP ≈2× the status quo;
+// window 1 only ≈1.5×.
+func ExposedTerminals(tb *topo.Testbed, opt Options) *PairExperiment {
+	rng := sim.NewRNG(opt.Seed ^ 0xf16)
+	pairs := tb.ExposedPairs(rng, opt.Pairs)
+	return runPairExperiment("Figure 12: exposed terminals", tb, pairs,
+		[]Protocol{CSMAOn, CSMAOffNoAcks, CMAP, CMAPWin1}, opt)
+}
+
+// InRangeSenders reproduces Figure 13: 50 pairs with in-range senders and
+// no signal constraints (§5.3) under CS+acks, CS-off+acks,
+// CS-off+no-acks, and CMAP. CMAP should track the better of deferring and
+// concurrency on every pair.
+func InRangeSenders(tb *topo.Testbed, opt Options) *PairExperiment {
+	rng := sim.NewRNG(opt.Seed ^ 0xf13)
+	pairs := tb.InRangePairs(rng, opt.Pairs)
+	return runPairExperiment("Figure 13: senders in range", tb, pairs,
+		[]Protocol{CSMAOn, CSMAOffAcks, CSMAOffNoAcks, CMAP}, opt)
+}
+
+// HiddenTerminals reproduces Figure 15: receivers reachable by both
+// senders, senders out of range (§5.5), under CS+acks, CS-off+acks, and
+// CMAP. CMAP's loss-driven backoff must keep it comparable to 802.11.
+func HiddenTerminals(tb *topo.Testbed, opt Options) *PairExperiment {
+	rng := sim.NewRNG(opt.Seed ^ 0xf15)
+	pairs := tb.HiddenPairs(rng, opt.Pairs)
+	return runPairExperiment("Figure 15: hidden terminals", tb, pairs,
+		[]Protocol{CSMAOn, CSMAOffAcks, CMAP}, opt)
+}
+
+// InterfererPoint is one Figure 14 scatter point.
+type InterfererPoint struct {
+	Triple topo.Triple
+	// MinPRR is min(PRR(I→R), PRR(I→S)) measured in isolation.
+	MinPRR float64
+	// NormThroughput is S→R goodput with I active divided by S→R goodput
+	// alone (both with carrier sense and ACKs disabled, §5.4).
+	NormThroughput float64
+}
+
+// HiddenInterfererResult reproduces Figure 14 and §5.4's two derived
+// numbers.
+type HiddenInterfererResult struct {
+	Points []InterfererPoint
+	// HiddenFrac is the fraction of points in the bottom-left quadrant
+	// (normalised throughput < 0.5 AND min PRR < 0.5): true hidden
+	// interferers. The paper measures 8%.
+	HiddenFrac float64
+	// ExpectedCMAP is Σ p·1 + (1−p)·T over all points, the §5.4 estimate
+	// of CMAP throughput under hidden interferers. The paper computes
+	// 0.896.
+	ExpectedCMAP float64
+}
+
+// HiddenInterferers runs the §5.4 measurement: for each (S, R, I) triple,
+// S→R throughput alone and with I saturating, CS and ACKs disabled.
+func HiddenInterferers(tb *topo.Testbed, opt Options) *HiddenInterfererResult {
+	rng := sim.NewRNG(opt.Seed ^ 0xf14)
+	triples := tb.HiddenInterfererTriples(rng, opt.Triples)
+	res := &HiddenInterfererResult{}
+	var sumExpected float64
+	hidden := 0
+	for i, tr := range triples {
+		seed := opt.Seed + uint64(i)*6551
+		alone := runFlows(tb, []topo.Link{{Src: tr.Src, Dst: tr.Dst}}, CSMAOffNoAcks, opt, seed)
+		// The interferer saturates towards a sink that is neither S nor R
+		// (its traffic's destination is irrelevant with ACKs disabled).
+		sink := 0
+		for sink == tr.Src || sink == tr.Dst || sink == tr.Interferer {
+			sink++
+		}
+		both := runFlows(tb, []topo.Link{
+			{Src: tr.Src, Dst: tr.Dst},
+			{Src: tr.Interferer, Dst: sink},
+		}, CSMAOffNoAcks, opt, seed+1)
+		if alone[0].Mbps <= 0 {
+			continue
+		}
+		norm := both[0].Mbps / alone[0].Mbps
+		if norm > 1 {
+			norm = 1
+		}
+		minPRR := math.Min(tb.PRR[tr.Interferer][tr.Dst], tb.PRR[tr.Interferer][tr.Src])
+		res.Points = append(res.Points, InterfererPoint{Triple: tr, MinPRR: minPRR, NormThroughput: norm})
+		if norm < 0.5 && minPRR < 0.5 {
+			hidden++
+		}
+		pr := tb.PRR[tr.Interferer][tr.Dst]
+		ps := tb.PRR[tr.Interferer][tr.Src]
+		p := math.Max(pr+ps-1, 0)
+		sumExpected += p*1 + (1-p)*norm
+	}
+	if len(res.Points) > 0 {
+		res.HiddenFrac = float64(hidden) / float64(len(res.Points))
+		res.ExpectedCMAP = sumExpected / float64(len(res.Points))
+	}
+	return res
+}
+
+// HeaderTrailerCDFs reproduces Figure 16 from the CMAP runs of the
+// in-range (Figure 13) and hidden-terminal (Figure 15) experiments: CDFs
+// of per-flow header-only and header-or-trailer reception fractions.
+type HeaderTrailerCDFs struct {
+	InRangeHeader, InRangeEither *stats.Dist
+	HiddenHeader, HiddenEither   *stats.Dist
+}
+
+// HeaderTrailer extracts Figure 16 from two already-run experiments.
+func HeaderTrailer(inRange, hidden *PairExperiment) *HeaderTrailerCDFs {
+	h := &HeaderTrailerCDFs{
+		InRangeHeader: &stats.Dist{}, InRangeEither: &stats.Dist{},
+		HiddenHeader: &stats.Dist{}, HiddenEither: &stats.Dist{},
+	}
+	for _, run := range inRange.Flows[CMAP] {
+		for _, fr := range run {
+			h.InRangeHeader.Add(fr.HeaderFrac())
+			h.InRangeEither.Add(fr.HdrOrTrailFrac())
+		}
+	}
+	for _, run := range hidden.Flows[CMAP] {
+		for _, fr := range run {
+			h.HiddenHeader.Add(fr.HeaderFrac())
+			h.HiddenEither.Add(fr.HdrOrTrailFrac())
+		}
+	}
+	return h
+}
+
+// Format renders Figure 16's four series.
+func (h *HeaderTrailerCDFs) Format() string {
+	return "Figure 16: header/trailer reception fraction per flow\n" +
+		stats.FormatCDFs(
+			[]string{"in-range, header", "in-range, hdr|trl", "out-of-range, header", "out-of-range, hdr|trl"},
+			[]*stats.Dist{h.InRangeHeader, h.InRangeEither, h.HiddenHeader, h.HiddenEither})
+}
+
+// APResult holds Figures 17 and 18: aggregate throughput per AP count
+// and arm, plus the pooled per-sender distribution.
+type APResult struct {
+	Ns        []int
+	Mean      map[Protocol]map[int]float64 // arm → N → mean aggregate Mb/s
+	Std       map[Protocol]map[int]float64
+	PerSender map[Protocol]*stats.Dist
+}
+
+// AccessPoint reproduces the §5.6 WLAN experiment: N = 3..6 access-point
+// cells with one saturated flow each (random client, random direction),
+// ten client draws per N, under CS-on, CS-off, and CMAP.
+func AccessPoint(tb *topo.Testbed, opt Options) *APResult {
+	arms := []Protocol{CSMAOn, CSMAOffAcks, CMAP}
+	res := &APResult{
+		Ns:        []int{3, 4, 5, 6},
+		Mean:      map[Protocol]map[int]float64{},
+		Std:       map[Protocol]map[int]float64{},
+		PerSender: map[Protocol]*stats.Dist{},
+	}
+	for _, a := range arms {
+		res.Mean[a] = map[int]float64{}
+		res.Std[a] = map[int]float64{}
+		res.PerSender[a] = &stats.Dist{}
+	}
+	cells := tb.APRegions()
+	rng := sim.NewRNG(opt.Seed ^ 0xf17)
+	for _, n := range res.Ns {
+		if n > len(cells) {
+			continue
+		}
+		aggs := map[Protocol]*stats.Dist{}
+		for _, a := range arms {
+			aggs[a] = &stats.Dist{}
+		}
+		for run := 0; run < opt.APRuns; run++ {
+			// Adjacent regions when fewer than all cells are used.
+			flows := make([]topo.Link, 0, n)
+			for _, cell := range cells[:n] {
+				client := cell.Clients[rng.Intn(len(cell.Clients))]
+				if rng.Bool(0.5) {
+					flows = append(flows, topo.Link{Src: cell.AP, Dst: client})
+				} else {
+					flows = append(flows, topo.Link{Src: client, Dst: cell.AP})
+				}
+			}
+			for _, arm := range arms {
+				rs := runFlows(tb, flows, arm, opt, opt.Seed+uint64(n*1000+run)*31+uint64(arm))
+				aggs[arm].Add(aggregate(rs))
+				for _, fr := range rs {
+					res.PerSender[arm].Add(fr.Mbps)
+				}
+			}
+		}
+		for _, arm := range arms {
+			res.Mean[arm][n] = aggs[arm].Mean()
+			res.Std[arm][n] = aggs[arm].Std()
+		}
+	}
+	return res
+}
+
+// Format renders Figure 17's grouped bars and Figure 18's medians.
+func (r *APResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 17: AP topology mean aggregate throughput (Mb/s)\n")
+	fmt.Fprintf(&b, "%-16s", "arm \\ N")
+	for _, n := range r.Ns {
+		fmt.Fprintf(&b, "%10d", n)
+	}
+	b.WriteString("\n")
+	for _, arm := range []Protocol{CSMAOn, CSMAOffAcks, CMAP} {
+		fmt.Fprintf(&b, "%-16s", arm)
+		for _, n := range r.Ns {
+			fmt.Fprintf(&b, "%7.2f±%-4.1f", r.Mean[arm][n], r.Std[arm][n])
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("Figure 18: per-sender throughput (Mb/s)\n")
+	names := []string{}
+	dists := []*stats.Dist{}
+	for _, arm := range []Protocol{CSMAOn, CSMAOffAcks, CMAP} {
+		names = append(names, arm.String())
+		dists = append(dists, r.PerSender[arm])
+	}
+	b.WriteString(stats.FormatCDFs(names, dists))
+	return b.String()
+}
+
+// SenderSweepPoint is one Figure 19 x-position: visibility statistics at
+// a given number of concurrent senders.
+type SenderSweepPoint struct {
+	Senders                  int
+	Mean, Median             float64
+	P10, P25, P75, P90       float64
+	FlowsMeasured            int
+	MedianMinusTenthPercntle float64
+}
+
+// HeaderTrailerVsSenders reproduces Figure 19: CMAP header-or-trailer
+// reception fraction at receivers as the number of concurrent saturated
+// flows grows from 2 to 7.
+func HeaderTrailerVsSenders(tb *topo.Testbed, opt Options) []SenderSweepPoint {
+	rng := sim.NewRNG(opt.Seed ^ 0xf19)
+	links := allPotentialLinks(tb)
+	var out []SenderSweepPoint
+	for k := 2; k <= 7; k++ {
+		d := &stats.Dist{}
+		for run := 0; run < opt.APRuns; run++ {
+			flows := pickDisjointFlows(rng, links, k)
+			if len(flows) < k {
+				continue
+			}
+			rs := runFlows(tb, flows, CMAP, opt, opt.Seed+uint64(k*100+run)*131)
+			for _, fr := range rs {
+				if fr.VpktsSent > 0 {
+					d.Add(fr.HdrOrTrailFrac())
+				}
+			}
+		}
+		out = append(out, SenderSweepPoint{
+			Senders: k, Mean: d.Mean(), Median: d.Median(),
+			P10: d.Percentile(10), P25: d.Percentile(25),
+			P75: d.Percentile(75), P90: d.Percentile(90),
+			FlowsMeasured: d.N(),
+		})
+	}
+	return out
+}
+
+func allPotentialLinks(tb *topo.Testbed) []topo.Link {
+	var out []topo.Link
+	for a := 0; a < tb.N; a++ {
+		for b := 0; b < tb.N; b++ {
+			if tb.PotentialLink(a, b) {
+				out = append(out, topo.Link{Src: a, Dst: b})
+			}
+		}
+	}
+	return out
+}
+
+// pickDisjointFlows samples k node-disjoint potential links.
+func pickDisjointFlows(rng *sim.RNG, links []topo.Link, k int) []topo.Link {
+	used := map[int]bool{}
+	var flows []topo.Link
+	for attempts := 0; attempts < 20000 && len(flows) < k; attempts++ {
+		l := links[rng.Intn(len(links))]
+		if used[l.Src] || used[l.Dst] {
+			continue
+		}
+		used[l.Src], used[l.Dst] = true, true
+		flows = append(flows, l)
+	}
+	return flows
+}
+
+// RateSeries is one Figure 20 bit-rate arm pair.
+type RateSeries struct {
+	Rate phy.RateID
+	Ex   *PairExperiment
+}
+
+// VariableBitRates reproduces Figure 20: the exposed-terminal experiment
+// at the 6, 12 and 18 Mb/s rates under CS-on and CMAP. Control traffic
+// stays at 6 Mb/s, as in §5.8.
+func VariableBitRates(tb *topo.Testbed, opt Options) []RateSeries {
+	rng := sim.NewRNG(opt.Seed ^ 0xf20)
+	pairs := tb.ExposedPairs(rng, opt.Pairs)
+	var out []RateSeries
+	for _, rate := range []phy.RateID{phy.Rate6Mbps, phy.Rate12Mbps, phy.Rate18Mbps} {
+		o := opt
+		o.Rate = rate
+		name := fmt.Sprintf("Figure 20: exposed terminals @ %g Mb/s", phy.RateByID(rate).Mbps)
+		ex := runPairExperiment(name, tb, pairs, []Protocol{CSMAOn, CMAP}, o)
+		out = append(out, RateSeries{Rate: rate, Ex: ex})
+	}
+	return out
+}
+
+// MeshResult holds the §5.7 numbers: per-topology aggregate leaf
+// throughput for CMAP and the status quo.
+type MeshResult struct {
+	CMAP, CSMA *stats.Dist
+}
+
+// Gain returns mean(CMAP)/mean(CSMA) (the paper reports +52%).
+func (m *MeshResult) Gain() float64 {
+	if m.CSMA.Mean() == 0 {
+		return 0
+	}
+	return m.CMAP.Mean() / m.CSMA.Mean()
+}
+
+// Mesh reproduces §5.7: two-hop content dissemination in batches, as the
+// paper describes — "the source S first broadcasts a batch of packets to
+// its one-hop neighbors A1, A2, A3; the Ais then transmit the packets to
+// the corresponding Bis." A controller alternates the phases: when the
+// source drains, relays forward what they received (concurrently — this
+// is where CMAP finds exposed-terminal opportunities); when all relays
+// drain, the source broadcasts the next batch. A leaf's throughput is
+// the minimum of its two hop rates; a run's score is the sum over leaves.
+func Mesh(tb *topo.Testbed, opt Options) *MeshResult {
+	rng := sim.NewRNG(opt.Seed ^ 0xf57)
+	meshes := tb.MeshTopologies(rng, opt.Meshes, 3)
+	res := &MeshResult{CMAP: &stats.Dist{}, CSMA: &stats.Dist{}}
+	for i, msh := range meshes {
+		seed := opt.Seed + uint64(i)*2221
+		res.CMAP.Add(runMeshCMAP(tb, msh, opt, seed))
+		res.CSMA.Add(runMeshCSMA(tb, msh, opt, seed+1))
+	}
+	return res
+}
+
+// hopMeter counts per-hop deliveries inside the measurement window.
+type hopMeter struct {
+	start, end sim.Time
+	count      uint64
+}
+
+func (h *hopMeter) record(now sim.Time) {
+	if now >= h.start && now <= h.end {
+		h.count++
+	}
+}
+
+func (h *hopMeter) mbps(payload int) float64 {
+	w := (h.end - h.start).Seconds()
+	if w <= 0 {
+		return 0
+	}
+	return float64(h.count) * float64(payload) * 8 / w / 1e6
+}
+
+// meshBatch is the dissemination batch size in data packets.
+const meshBatch = 320
+
+func runMeshCMAP(tb *topo.Testbed, msh topo.Mesh, opt Options, seed uint64) float64 {
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(seed)
+	m := tb.Build(sched, rng.Stream(1))
+	cfg := core.DefaultConfig()
+	cfg.Rate = opt.Rate
+
+	src := core.New(msh.Source, cfg, m, rng.Stream(100))
+	k := len(msh.Relays)
+	relays := make([]*core.Node, k)
+	hop1 := make([]*hopMeter, k)
+	hop2 := make([]*hopMeter, k)
+	pending := make([]int, k)
+	for i, relay := range msh.Relays {
+		i := i
+		leaf := msh.Leaves[i]
+		relays[i] = core.New(relay, cfg, m, rng.Stream(uint64(200+i)))
+		ln := core.New(leaf, cfg, m, rng.Stream(uint64(300+i)))
+		hop1[i] = &hopMeter{start: opt.Warmup, end: opt.Duration}
+		hop2[i] = &hopMeter{start: opt.Warmup, end: opt.Duration}
+		relays[i].OnDeliver = func(from int, _ uint32, now sim.Time) {
+			if from != msh.Source {
+				return
+			}
+			hop1[i].record(now)
+			pending[i]++
+		}
+		ln.OnDeliver = func(from int, _ uint32, now sim.Time) {
+			if from == relay {
+				hop2[i].record(now)
+			}
+		}
+	}
+	src.SetBroadcast(msh.Relays, false, meshBatch)
+	// Phase controller: source batch → relay forwarding → next batch.
+	srcPhase := true
+	var tick func()
+	tick = func() {
+		if srcPhase && src.Idle() {
+			srcPhase = false
+			for i := range relays {
+				if pending[i] > 0 {
+					relays[i].Enqueue(msh.Leaves[i], pending[i])
+					pending[i] = 0
+				}
+			}
+		} else if !srcPhase {
+			done := true
+			for _, r := range relays {
+				if !r.Idle() {
+					done = false
+					break
+				}
+			}
+			if done {
+				srcPhase = true
+				src.EnqueueBroadcast(meshBatch)
+			}
+		}
+		sched.After(20*sim.Millisecond, tick)
+	}
+	sched.After(20*sim.Millisecond, tick)
+	sched.Run(opt.Duration)
+	var agg float64
+	for i := range msh.Relays {
+		agg += math.Min(hop1[i].mbps(cfg.PayloadBytes), hop2[i].mbps(cfg.PayloadBytes))
+	}
+	return agg
+}
+
+func runMeshCSMA(tb *topo.Testbed, msh topo.Mesh, opt Options, seed uint64) float64 {
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(seed)
+	m := tb.Build(sched, rng.Stream(1))
+	cfg := csma.DefaultConfig()
+	cfg.Rate = opt.Rate
+
+	src := csma.New(msh.Source, cfg, m, rng.Stream(100))
+	k := len(msh.Relays)
+	relays := make([]*csma.Node, k)
+	hop1 := make([]*hopMeter, k)
+	hop2 := make([]*hopMeter, k)
+	pending := make([]int, k)
+	for i, relay := range msh.Relays {
+		i := i
+		leaf := msh.Leaves[i]
+		relays[i] = csma.New(relay, cfg, m, rng.Stream(uint64(200+i)))
+		ln := csma.New(leaf, cfg, m, rng.Stream(uint64(300+i)))
+		hop1[i] = &hopMeter{start: opt.Warmup, end: opt.Duration}
+		hop2[i] = &hopMeter{start: opt.Warmup, end: opt.Duration}
+		relays[i].OnDeliver = func(from int, _ uint32, now sim.Time) {
+			if from != msh.Source {
+				return
+			}
+			hop1[i].record(now)
+			pending[i]++
+		}
+		ln.OnDeliver = func(from int, _ uint32, now sim.Time) {
+			if from == relay {
+				hop2[i].record(now)
+			}
+		}
+	}
+	src.Enqueue(csma.BroadcastDst, meshBatch)
+	srcPhase := true
+	var tick func()
+	tick = func() {
+		if srcPhase && src.Idle() {
+			srcPhase = false
+			for i := range relays {
+				if pending[i] > 0 {
+					relays[i].Enqueue(msh.Leaves[i], pending[i])
+					pending[i] = 0
+				}
+			}
+		} else if !srcPhase {
+			done := true
+			for _, r := range relays {
+				if !r.Idle() {
+					done = false
+					break
+				}
+			}
+			if done {
+				srcPhase = true
+				src.Enqueue(csma.BroadcastDst, meshBatch)
+			}
+		}
+		sched.After(20*sim.Millisecond, tick)
+	}
+	sched.After(20*sim.Millisecond, tick)
+	sched.Run(opt.Duration)
+	var agg float64
+	for i := range msh.Relays {
+		agg += math.Min(hop1[i].mbps(cfg.PayloadBytes), hop2[i].mbps(cfg.PayloadBytes))
+	}
+	return agg
+}

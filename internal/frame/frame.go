@@ -1,0 +1,494 @@
+// Package frame defines the wire formats exchanged by the simulated link
+// layers: the CMAP header/trailer packets of Figure 3, CMAP data packets,
+// cumulative bitmap ACKs carrying the receiver's observed loss rate,
+// interferer-list broadcasts, and plain 802.11 data/ACK frames for the
+// CSMA baseline.
+//
+// Every frame marshals to a self-describing byte string: a one-byte kind,
+// the fields of Figure 3 (or the 802.11 equivalents), and a trailing
+// CRC-32 (IEEE) over everything before it. The simulator carries typed
+// frames between MAC state machines for speed, but airtime is always
+// computed from WireSize so protocol overhead is accounted exactly, and
+// the encode/decode path is exercised by the test suite and available to
+// embedders who want byte-level traces.
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Kind identifies a frame type on the wire.
+type Kind uint8
+
+// Frame kinds.
+const (
+	KindInvalid        Kind = iota
+	KindHeader              // CMAP virtual-packet header (Figure 3)
+	KindTrailer             // CMAP virtual-packet trailer (Figure 3)
+	KindData                // CMAP data packet inside a virtual packet
+	KindAck                 // CMAP cumulative windowed ACK
+	KindInterfererList      // periodic interferer-list broadcast (§3.1)
+	KindDot11Data           // 802.11 baseline data frame
+	KindDot11Ack            // 802.11 baseline ACK
+)
+
+// String returns the frame kind mnemonic.
+func (k Kind) String() string {
+	switch k {
+	case KindHeader:
+		return "header"
+	case KindTrailer:
+		return "trailer"
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	case KindInterfererList:
+		return "interferer-list"
+	case KindDot11Data:
+		return "dot11-data"
+	case KindDot11Ack:
+		return "dot11-ack"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Decode errors.
+var (
+	ErrShortFrame  = errors.New("frame: truncated frame")
+	ErrBadCRC      = errors.New("frame: CRC mismatch")
+	ErrUnknownKind = errors.New("frame: unknown kind")
+	ErrBadLength   = errors.New("frame: inconsistent length field")
+)
+
+// Addr is a 6-byte link-layer address, as in 802.11.
+type Addr [6]byte
+
+// Broadcast is the all-ones broadcast address.
+var Broadcast = Addr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// AddrFromID maps a small integer node ID onto a locally administered
+// unicast address. IDs below zero panic.
+func AddrFromID(id int) Addr {
+	if id < 0 {
+		panic("frame: negative node id")
+	}
+	var a Addr
+	a[0] = 0x02 // locally administered, unicast
+	binary.BigEndian.PutUint32(a[2:6], uint32(id))
+	return a
+}
+
+// ID recovers the node ID from an address produced by AddrFromID.
+// The result is meaningless for other addresses.
+func (a Addr) ID() int { return int(binary.BigEndian.Uint32(a[2:6])) }
+
+// IsBroadcast reports whether a is the broadcast address.
+func (a Addr) IsBroadcast() bool { return a == Broadcast }
+
+// String formats the address in colon-separated hex.
+func (a Addr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// Frame is a marshalable link-layer frame.
+type Frame interface {
+	// Kind identifies the frame type.
+	Kind() Kind
+	// WireSize returns the exact length of the marshalled frame in bytes;
+	// the PHY uses it to compute airtime.
+	WireSize() int
+	// appendBody appends everything after the kind byte and before the CRC.
+	appendBody(dst []byte) []byte
+}
+
+// Marshal encodes f with its kind byte and trailing CRC-32.
+func Marshal(f Frame) []byte {
+	b := make([]byte, 0, f.WireSize())
+	b = append(b, byte(f.Kind()))
+	b = f.appendBody(b)
+	b = binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	return b
+}
+
+// Unmarshal decodes a frame, verifying its CRC.
+func Unmarshal(b []byte) (Frame, error) {
+	if len(b) < 5 {
+		return nil, ErrShortFrame
+	}
+	body, sum := b[:len(b)-4], binary.BigEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, ErrBadCRC
+	}
+	payload := body[1:]
+	switch Kind(b[0]) {
+	case KindHeader, KindTrailer:
+		return unmarshalControl(Kind(b[0]), payload)
+	case KindData:
+		return unmarshalData(payload)
+	case KindAck:
+		return unmarshalAck(payload)
+	case KindInterfererList:
+		return unmarshalInterfererList(payload)
+	case KindDot11Data:
+		return unmarshalDot11Data(payload)
+	case KindDot11Ack:
+		return unmarshalDot11Ack(payload)
+	default:
+		return nil, ErrUnknownKind
+	}
+}
+
+// ---------------------------------------------------------------------------
+// CMAP header/trailer (Figure 3): Src 6 + Dst 6 + TxTime 4 + Seq 4 (+ CRC 4).
+
+// Control is a CMAP header or trailer packet. Headers announce a virtual
+// packet: deferring nodes read Src, Dst and the estimated transmission
+// time to decide how long to wait. Trailers close it, so that a receiver
+// whose header was destroyed by a collision can still identify the
+// transmission (Figure 5).
+type Control struct {
+	Trailer bool // false: header, true: trailer
+	Src     Addr
+	Dst     Addr
+	// TxTimeMicros is the estimated transmission time of the whole virtual
+	// packet, in microseconds.
+	TxTimeMicros uint32
+	// Seq is the link-layer sequence number of the virtual packet.
+	Seq uint32
+	// Rate annotates the bit-rate index of the data packets (§3.5 multi
+	// bit-rate extension); it rides in the top byte of spare TxTime bits
+	// on the wire. 0 means the common base rate.
+	Rate uint8
+}
+
+// controlBodyLen is Figure 3's 6+6+4+4 plus the one-byte rate annotation.
+const controlBodyLen = 6 + 6 + 4 + 4 + 1
+
+// Kind implements Frame.
+func (c *Control) Kind() Kind {
+	if c.Trailer {
+		return KindTrailer
+	}
+	return KindHeader
+}
+
+// WireSize implements Frame.
+func (c *Control) WireSize() int { return 1 + controlBodyLen + 4 }
+
+func (c *Control) appendBody(dst []byte) []byte {
+	dst = append(dst, c.Src[:]...)
+	dst = append(dst, c.Dst[:]...)
+	dst = binary.BigEndian.AppendUint32(dst, c.TxTimeMicros)
+	dst = binary.BigEndian.AppendUint32(dst, c.Seq)
+	dst = append(dst, c.Rate)
+	return dst
+}
+
+func unmarshalControl(k Kind, b []byte) (*Control, error) {
+	if len(b) != controlBodyLen {
+		return nil, ErrShortFrame
+	}
+	c := &Control{Trailer: k == KindTrailer}
+	copy(c.Src[:], b[0:6])
+	copy(c.Dst[:], b[6:12])
+	c.TxTimeMicros = binary.BigEndian.Uint32(b[12:16])
+	c.Seq = binary.BigEndian.Uint32(b[16:20])
+	c.Rate = b[20]
+	return c, nil
+}
+
+// ---------------------------------------------------------------------------
+// CMAP data packet.
+
+// Data is one data packet inside a CMAP virtual packet. PktSeq is the
+// stable link-layer sequence number of the packet (it survives
+// retransmission, so receivers deduplicate on it); VSeq names the virtual
+// packet currently carrying it and Index the packet's position within
+// that virtual packet, which receivers use for loss accounting.
+type Data struct {
+	Src, Dst   Addr
+	PktSeq     uint32 // stable per-packet sequence number
+	VSeq       uint32 // virtual packet sequence number
+	Index      uint16 // position within the virtual packet
+	PayloadLen uint16 // application payload bytes carried (not materialised)
+}
+
+const dataBodyLen = 6 + 6 + 4 + 4 + 2 + 2
+
+// Kind implements Frame.
+func (d *Data) Kind() Kind { return KindData }
+
+// WireSize implements Frame. The payload itself is accounted by length
+// only: simulated applications send opaque bytes.
+func (d *Data) WireSize() int { return 1 + dataBodyLen + int(d.PayloadLen) + 4 }
+
+func (d *Data) appendBody(dst []byte) []byte {
+	dst = append(dst, d.Src[:]...)
+	dst = append(dst, d.Dst[:]...)
+	dst = binary.BigEndian.AppendUint32(dst, d.PktSeq)
+	dst = binary.BigEndian.AppendUint32(dst, d.VSeq)
+	dst = binary.BigEndian.AppendUint16(dst, d.Index)
+	dst = binary.BigEndian.AppendUint16(dst, d.PayloadLen)
+	// The payload is zeros: simulated traffic has no content.
+	return append(dst, make([]byte, d.PayloadLen)...)
+}
+
+func unmarshalData(b []byte) (*Data, error) {
+	if len(b) < dataBodyLen {
+		return nil, ErrShortFrame
+	}
+	d := &Data{}
+	copy(d.Src[:], b[0:6])
+	copy(d.Dst[:], b[6:12])
+	d.PktSeq = binary.BigEndian.Uint32(b[12:16])
+	d.VSeq = binary.BigEndian.Uint32(b[16:20])
+	d.Index = binary.BigEndian.Uint16(b[20:22])
+	d.PayloadLen = binary.BigEndian.Uint16(b[22:24])
+	if len(b) != dataBodyLen+int(d.PayloadLen) {
+		return nil, ErrBadLength
+	}
+	return d, nil
+}
+
+// ---------------------------------------------------------------------------
+// CMAP cumulative windowed ACK (§3.3).
+
+// Ack is the CMAP cumulative windowed ACK. All data packets with
+// PktSeq < CumSeq have been received; Bitmap selectively acknowledges the
+// window above that (bit i set = packet CumSeq+i received). LossRate is
+// the receiver's packet loss estimate over the previous window of
+// packets, quantised to 1/65535. VSeq names the virtual packet whose
+// trailer triggered this ACK.
+type Ack struct {
+	Src, Dst Addr
+	CumSeq   uint32
+	VSeq     uint32
+	Bitmap   []byte
+	LossRate float64
+}
+
+// Kind implements Frame.
+func (a *Ack) Kind() Kind { return KindAck }
+
+// WireSize implements Frame.
+func (a *Ack) WireSize() int {
+	return 1 + 6 + 6 + 4 + 4 + 2 + 2 + len(a.Bitmap) + 4
+}
+
+func (a *Ack) appendBody(dst []byte) []byte {
+	dst = append(dst, a.Src[:]...)
+	dst = append(dst, a.Dst[:]...)
+	dst = binary.BigEndian.AppendUint32(dst, a.CumSeq)
+	dst = binary.BigEndian.AppendUint32(dst, a.VSeq)
+	loss := a.LossRate
+	if loss < 0 {
+		loss = 0
+	}
+	if loss > 1 {
+		loss = 1
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(loss*65535+0.5))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(a.Bitmap)))
+	return append(dst, a.Bitmap...)
+}
+
+func unmarshalAck(b []byte) (*Ack, error) {
+	const fixed = 6 + 6 + 4 + 4 + 2 + 2
+	if len(b) < fixed {
+		return nil, ErrShortFrame
+	}
+	a := &Ack{}
+	copy(a.Src[:], b[0:6])
+	copy(a.Dst[:], b[6:12])
+	a.CumSeq = binary.BigEndian.Uint32(b[12:16])
+	a.VSeq = binary.BigEndian.Uint32(b[16:20])
+	a.LossRate = float64(binary.BigEndian.Uint16(b[20:22])) / 65535
+	n := int(binary.BigEndian.Uint16(b[22:24]))
+	rest := b[24:]
+	if len(rest) != n {
+		return nil, ErrBadLength
+	}
+	if n > 0 {
+		a.Bitmap = make([]byte, n)
+		copy(a.Bitmap, rest)
+	}
+	return a, nil
+}
+
+// BitmapGet reports whether bit i of the ACK bitmap is set (packet
+// CumSeq+i received). Out-of-range indices return false.
+func (a *Ack) BitmapGet(i int) bool {
+	if i < 0 || i/8 >= len(a.Bitmap) {
+		return false
+	}
+	return a.Bitmap[i/8]&(1<<uint(i%8)) != 0
+}
+
+// BitmapSet sets bit i, growing the bitmap as needed.
+func (a *Ack) BitmapSet(i int) {
+	if i < 0 {
+		return
+	}
+	for i/8 >= len(a.Bitmap) {
+		a.Bitmap = append(a.Bitmap, 0)
+	}
+	a.Bitmap[i/8] |= 1 << uint(i%8)
+}
+
+// ---------------------------------------------------------------------------
+// Interferer-list broadcast (§3.1).
+
+// InterferenceEntry is one (source, interferer) pair from a receiver's
+// interferer list: transmissions from Interferer conflict with
+// Source → (the broadcasting receiver). Rate annotates the bit-rate index
+// the conflict was observed at (§3.5); 0 is the common base rate.
+type InterferenceEntry struct {
+	Source     Addr
+	Interferer Addr
+	Rate       uint8
+}
+
+// InterfererList is the periodic broadcast each receiver sends to its
+// one-hop neighbours so senders can populate their defer tables. Relayed
+// marks a copy re-broadcast by a neighbour (the §3.1 two-hop option for
+// asymmetric links); relayed copies are never relayed again.
+type InterfererList struct {
+	Src     Addr // the receiver whose list this is (preserved when relayed)
+	Relayed bool
+	Entries []InterferenceEntry
+}
+
+const interferenceEntryLen = 6 + 6 + 1
+
+// Kind implements Frame.
+func (l *InterfererList) Kind() Kind { return KindInterfererList }
+
+// WireSize implements Frame.
+func (l *InterfererList) WireSize() int {
+	return 1 + 6 + 1 + 2 + len(l.Entries)*interferenceEntryLen + 4
+}
+
+func (l *InterfererList) appendBody(dst []byte) []byte {
+	dst = append(dst, l.Src[:]...)
+	if l.Relayed {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(l.Entries)))
+	for _, e := range l.Entries {
+		dst = append(dst, e.Source[:]...)
+		dst = append(dst, e.Interferer[:]...)
+		dst = append(dst, e.Rate)
+	}
+	return dst
+}
+
+func unmarshalInterfererList(b []byte) (*InterfererList, error) {
+	if len(b) < 9 {
+		return nil, ErrShortFrame
+	}
+	l := &InterfererList{}
+	copy(l.Src[:], b[0:6])
+	l.Relayed = b[6] != 0
+	count := int(binary.BigEndian.Uint16(b[7:9]))
+	rest := b[9:]
+	if len(rest) != count*interferenceEntryLen {
+		return nil, ErrBadLength
+	}
+	l.Entries = make([]InterferenceEntry, count)
+	for i := 0; i < count; i++ {
+		e := &l.Entries[i]
+		copy(e.Source[:], rest[0:6])
+		copy(e.Interferer[:], rest[6:12])
+		e.Rate = rest[12]
+		rest = rest[interferenceEntryLen:]
+	}
+	return l, nil
+}
+
+// ---------------------------------------------------------------------------
+// 802.11 baseline frames.
+
+// Dot11Data is a plain 802.11 data frame for the CSMA baseline. WireSize
+// matches the 802.11 data MAC overhead (24-byte header + 4-byte FCS) plus
+// payload, so baseline airtime is faithful.
+type Dot11Data struct {
+	Src, Dst   Addr
+	Seq        uint16
+	Retry      bool
+	PayloadLen uint16
+}
+
+const dot11DataBodyLen = 1 + 2 + 6 + 6 + 2 + 2 // fc + dur + src + dst + seq + paylen
+
+// Kind implements Frame.
+func (d *Dot11Data) Kind() Kind { return KindDot11Data }
+
+// WireSize implements Frame. 1 kind + 19 body + payload + 4 CRC = 24 + payload,
+// 802.11's data-frame overhead with a three-address header.
+func (d *Dot11Data) WireSize() int { return 1 + dot11DataBodyLen + int(d.PayloadLen) + 4 }
+
+func (d *Dot11Data) appendBody(dst []byte) []byte {
+	fc := byte(0)
+	if d.Retry {
+		fc |= 0x08
+	}
+	dst = append(dst, fc, 0, 0) // frame control + duration placeholder
+	dst = append(dst, d.Src[:]...)
+	dst = append(dst, d.Dst[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, d.Seq)
+	dst = binary.BigEndian.AppendUint16(dst, d.PayloadLen)
+	return append(dst, make([]byte, d.PayloadLen)...)
+}
+
+func unmarshalDot11Data(b []byte) (*Dot11Data, error) {
+	if len(b) < dot11DataBodyLen {
+		return nil, ErrShortFrame
+	}
+	d := &Dot11Data{Retry: b[0]&0x08 != 0}
+	copy(d.Src[:], b[3:9])
+	copy(d.Dst[:], b[9:15])
+	d.Seq = binary.BigEndian.Uint16(b[15:17])
+	d.PayloadLen = binary.BigEndian.Uint16(b[17:19])
+	if len(b) != dot11DataBodyLen+int(d.PayloadLen) {
+		return nil, ErrBadLength
+	}
+	return d, nil
+}
+
+// Dot11Ack is the 802.11 stop-and-wait ACK (14 bytes on air, as in the
+// standard: FC 2 + duration 2 + RA 6 + FCS 4).
+type Dot11Ack struct {
+	Dst Addr // receiver address (the data sender)
+	Seq uint16
+}
+
+const dot11AckBodyLen = 1 + 6 + 2 // dur/pad + ra + seq
+
+// Kind implements Frame.
+func (a *Dot11Ack) Kind() Kind { return KindDot11Ack }
+
+// WireSize implements Frame: 1 + 9 + 4 = 14 bytes, the standard ACK length.
+func (a *Dot11Ack) WireSize() int { return 1 + dot11AckBodyLen + 4 }
+
+func (a *Dot11Ack) appendBody(dst []byte) []byte {
+	dst = append(dst, 0)
+	dst = append(dst, a.Dst[:]...)
+	return binary.BigEndian.AppendUint16(dst, a.Seq)
+}
+
+func unmarshalDot11Ack(b []byte) (*Dot11Ack, error) {
+	if len(b) != dot11AckBodyLen {
+		return nil, ErrShortFrame
+	}
+	a := &Dot11Ack{}
+	copy(a.Dst[:], b[1:7])
+	a.Seq = binary.BigEndian.Uint16(b[7:9])
+	return a, nil
+}

@@ -1,0 +1,97 @@
+// Package geo provides the 2-D geometry used to place simulated nodes:
+// points in metres, distances, and office-floor layout helpers.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position on the floor plan, in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q in metres.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point { return Point{p.X + dx, p.Y + dy} }
+
+// String formats the point with centimetre precision.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle, used for floor and region bounds.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point { return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2} }
+
+// Contains reports whether p lies inside r (inclusive of edges).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// SplitX partitions r into n equal-width vertical slices, left to right.
+// It is used to carve the testbed floor into access-point "regions" (§5.6).
+func (r Rect) SplitX(n int) []Rect {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Rect, n)
+	w := r.Width() / float64(n)
+	for i := 0; i < n; i++ {
+		out[i] = Rect{
+			MinX: r.MinX + float64(i)*w,
+			MinY: r.MinY,
+			MaxX: r.MinX + float64(i+1)*w,
+			MaxY: r.MaxY,
+		}
+	}
+	return out
+}
+
+// GridLayout places n points on a jittered grid filling bounds. jitter is
+// the maximum displacement from each grid vertex as a fraction of the cell
+// size (0 = perfect grid, 0.5 = up to half a cell). rand must return
+// uniform values in [0,1). The layout mimics offices along a corridor:
+// roughly regular, never colinear.
+func GridLayout(n int, bounds Rect, jitter float64, rand func() float64) []Point {
+	if n <= 0 {
+		return nil
+	}
+	// Choose a grid aspect close to the bounds aspect.
+	aspect := bounds.Width() / bounds.Height()
+	cols := int(math.Ceil(math.Sqrt(float64(n) * aspect)))
+	if cols < 1 {
+		cols = 1
+	}
+	rows := (n + cols - 1) / cols
+	cw := bounds.Width() / float64(cols)
+	ch := bounds.Height() / float64(rows)
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		r, c := i/cols, i%cols
+		cx := bounds.MinX + (float64(c)+0.5)*cw
+		cy := bounds.MinY + (float64(r)+0.5)*ch
+		jx := (rand()*2 - 1) * jitter * cw
+		jy := (rand()*2 - 1) * jitter * ch
+		p := Point{cx + jx, cy + jy}
+		// Clamp to bounds so a node never leaves the floor.
+		p.X = math.Min(math.Max(p.X, bounds.MinX), bounds.MaxX)
+		p.Y = math.Min(math.Max(p.Y, bounds.MinY), bounds.MaxY)
+		pts = append(pts, p)
+	}
+	return pts
+}

@@ -1,0 +1,140 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-2, 0}, Point{2, 0}, 4},
+	}
+	for _, c := range cases {
+		if got := c.p.Dist(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) {
+			return true
+		}
+		a, b := Point{ax, ay}, Point{bx, by}
+		return a.Dist(b) == b.Dist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		c := Point{float64(cx), float64(cy)}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectSplitX(t *testing.T) {
+	r := Rect{0, 0, 60, 20}
+	parts := r.SplitX(6)
+	if len(parts) != 6 {
+		t.Fatalf("SplitX(6) returned %d parts", len(parts))
+	}
+	for i, p := range parts {
+		if math.Abs(p.Width()-10) > 1e-12 {
+			t.Errorf("part %d width = %v, want 10", i, p.Width())
+		}
+		if p.Height() != 20 {
+			t.Errorf("part %d height = %v, want 20", i, p.Height())
+		}
+	}
+	if parts[0].MinX != 0 || parts[5].MaxX != 60 {
+		t.Error("SplitX does not cover the full rect")
+	}
+	if got := r.SplitX(0); got != nil {
+		t.Error("SplitX(0) should return nil")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	if !r.Contains(Point{5, 5}) || !r.Contains(Point{0, 0}) || !r.Contains(Point{10, 10}) {
+		t.Error("Contains should include interior and edges")
+	}
+	if r.Contains(Point{11, 5}) || r.Contains(Point{5, -1}) {
+		t.Error("Contains accepted an exterior point")
+	}
+}
+
+func TestRectCenter(t *testing.T) {
+	r := Rect{2, 4, 8, 10}
+	c := r.Center()
+	if c.X != 5 || c.Y != 7 {
+		t.Errorf("Center() = %v, want (5,7)", c)
+	}
+}
+
+func TestGridLayoutCountAndBounds(t *testing.T) {
+	seq := 0
+	rand := func() float64 { seq++; return float64(seq%97) / 97 }
+	bounds := Rect{0, 0, 70, 30}
+	for _, n := range []int{1, 7, 50, 128} {
+		pts := GridLayout(n, bounds, 0.4, rand)
+		if len(pts) != n {
+			t.Fatalf("GridLayout(%d) returned %d points", n, len(pts))
+		}
+		for i, p := range pts {
+			if !bounds.Contains(p) {
+				t.Errorf("n=%d point %d %v outside bounds", n, i, p)
+			}
+		}
+	}
+	if GridLayout(0, bounds, 0.4, rand) != nil {
+		t.Error("GridLayout(0) should return nil")
+	}
+}
+
+func TestGridLayoutSpread(t *testing.T) {
+	// With zero jitter no two points coincide, and points spread across
+	// both halves of the floor.
+	pts := GridLayout(50, Rect{0, 0, 70, 30}, 0, func() float64 { return 0.5 })
+	left, right := 0, 0
+	for i, p := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if p.Dist(pts[j]) < 1e-9 {
+				t.Fatalf("points %d and %d coincide at %v", i, j, p)
+			}
+		}
+		if p.X < 35 {
+			left++
+		} else {
+			right++
+		}
+	}
+	if left == 0 || right == 0 {
+		t.Errorf("layout unbalanced: left=%d right=%d", left, right)
+	}
+}
+
+func TestPointAddString(t *testing.T) {
+	p := Point{1, 2}.Add(0.5, -0.5)
+	if p.X != 1.5 || p.Y != 1.5 {
+		t.Errorf("Add = %v", p)
+	}
+	if s := p.String(); s != "(1.50, 1.50)" {
+		t.Errorf("String() = %q", s)
+	}
+}

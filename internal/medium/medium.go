@@ -1,0 +1,134 @@
+// Package medium implements the shared wireless channel: it places
+// radios, computes the received power of every transmission at every
+// other radio through the propagation model, and drives each radio's
+// signal start/end callbacks in virtual time.
+package medium
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/geo"
+	"repro/internal/phy"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// Medium is the air. It owns one radio per node and dispatches
+// transmissions to every radio that can hear them.
+type Medium struct {
+	sched  *sim.Scheduler
+	params phy.Params
+	model  radio.Model
+
+	positions []geo.Point
+	radios    []*phy.Radio
+
+	// gainMW[a][b] is the received power in mW at b when a transmits at
+	// the common power; gainMW[a][a] is 0 (radios do not hear themselves).
+	gainMW  [][]float64
+	floorMW float64
+
+	nextTxID uint64
+	// Transmissions counts frames put on the air, for diagnostics.
+	Transmissions uint64
+}
+
+// New builds a medium over the given node positions. Each node gets a
+// radio whose decode randomness comes from a stream of rng.
+func New(sched *sim.Scheduler, params phy.Params, model radio.Model, positions []geo.Point, rng *sim.RNG) *Medium {
+	m := &Medium{
+		sched:     sched,
+		params:    params,
+		model:     model,
+		positions: append([]geo.Point(nil), positions...),
+		floorMW:   radio.DBmToMW(params.DeliveryFloorDBm),
+	}
+	n := len(positions)
+	m.radios = make([]*phy.Radio, n)
+	for i := 0; i < n; i++ {
+		m.radios[i] = phy.NewRadio(i, params, sched, rng.Stream(uint64(0x5ad10+i)), m)
+	}
+	m.gainMW = make([][]float64, n)
+	for a := 0; a < n; a++ {
+		m.gainMW[a] = make([]float64, n)
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			loss := model.Loss(a, positions[a], b, positions[b])
+			m.gainMW[a][b] = radio.DBmToMW(params.TxPowerDBm - loss)
+		}
+	}
+	return m
+}
+
+// NodeCount returns the number of nodes on the medium.
+func (m *Medium) NodeCount() int { return len(m.radios) }
+
+// Radio returns node i's transceiver.
+func (m *Medium) Radio(i int) *phy.Radio { return m.radios[i] }
+
+// Position returns node i's location.
+func (m *Medium) Position(i int) geo.Point { return m.positions[i] }
+
+// Scheduler returns the virtual clock driving this medium.
+func (m *Medium) Scheduler() *sim.Scheduler { return m.sched }
+
+// Params returns the PHY constants shared by all radios.
+func (m *Medium) Params() phy.Params { return m.params }
+
+// RxPowerDBm returns the power at which node "to" hears node "from", in
+// dBm. Returns -inf for from == to.
+func (m *Medium) RxPowerDBm(from, to int) float64 {
+	if from == to {
+		return radio.MWToDBm(0)
+	}
+	return radio.MWToDBm(m.gainMW[from][to])
+}
+
+// IsolationPRR returns the analytic packet reception ratio of the link
+// from→to for a frame of wireBytes at rate r with no interference — the
+// §5.1 "transmitting in isolation" measurement.
+func (m *Medium) IsolationPRR(from, to int, r phy.Rate, wireBytes int) float64 {
+	if from == to {
+		return 0
+	}
+	return phy.IsolationPRR(m.params, r, m.RxPowerDBm(from, to), wireBytes)
+}
+
+// Transmit implements phy.Channel. It fans the frame out to every radio
+// that receives it above the delivery floor and schedules the matching
+// signal-end and transmitter-done events.
+func (m *Medium) Transmit(from *phy.Radio, f frame.Frame, r phy.Rate) sim.Time {
+	src := from.ID()
+	if src < 0 || src >= len(m.radios) || m.radios[src] != from {
+		panic(fmt.Sprintf("medium: transmit from unknown radio %d", src))
+	}
+	m.nextTxID++
+	m.Transmissions++
+	now := m.sched.Now()
+	end := now + phy.Airtime(r, f.WireSize())
+	txID := m.nextTxID
+	for dst, g := range m.gainMW[src] {
+		if g < m.floorMW || dst == src {
+			continue
+		}
+		s := &phy.Signal{
+			TxID:    txID,
+			From:    src,
+			Frame:   f,
+			Rate:    r,
+			PowerMW: g,
+			Start:   now,
+			End:     end,
+		}
+		rcv := m.radios[dst]
+		rcv.SignalStart(s)
+		m.sched.At(end, func() { rcv.SignalEnd(s) })
+	}
+	// Scheduled after the signal-end events so that, at equal deadlines,
+	// receivers resolve their decodes before the sender's MAC reacts.
+	m.sched.At(end, from.TxDone)
+	return end
+}

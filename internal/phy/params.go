@@ -1,0 +1,65 @@
+package phy
+
+// Params collects the transceiver constants shared by every radio in a
+// simulation. DefaultParams matches a commodity 5 GHz 802.11a card of the
+// testbed era (Atheros AR5212 class).
+type Params struct {
+	// TxPowerDBm is the common transmit power (the paper assumes one
+	// power level network-wide, footnote 2).
+	TxPowerDBm float64
+	// NoiseFloorDBm is thermal noise plus receiver noise figure over the
+	// 20 MHz channel.
+	NoiseFloorDBm float64
+	// SensitivityDBm is the minimum received power at which a preamble
+	// can be detected at all.
+	SensitivityDBm float64
+	// PreambleOffsetDB shifts the preamble-acquisition waterfall relative
+	// to its default position (a short BPSK block a few dB more robust
+	// than 6 Mb/s data). Positive values make locking harder.
+	PreambleOffsetDB float64
+	// CSThresholdDBm is the carrier-sense threshold: the channel appears
+	// busy when total received power exceeds it. Most 802.11 chipsets use
+	// preamble detection for carrier sense (the paper's footnote 1),
+	// which tracks receiver sensitivity — any decodable same-technology
+	// signal shows the channel busy.
+	CSThresholdDBm float64
+	// ImplementationLossDB derates the analytic BER curves to hardware
+	// reality (filter mismatch, phase noise, channel estimation error).
+	ImplementationLossDB float64
+	// CaptureMarginDB is the extra SINR a newly arriving frame needs —
+	// beyond ordinary preamble acquisition — to capture the receiver away
+	// from an already-locked weaker frame (OFDM sync restart, the
+	// "capture effect" of the paper's refs [18, 20]). Commodity
+	// Atheros-class hardware restarts around 10 dB.
+	CaptureMarginDB float64
+	// DeliveryFloorDBm bounds medium fan-out: signals arriving below this
+	// power are ignored entirely (they are far below noise).
+	DeliveryFloorDBm float64
+}
+
+// DefaultParams returns the calibrated transceiver constants used for the
+// reproduction testbed.
+func DefaultParams() Params {
+	return Params{
+		TxPowerDBm:           10,
+		NoiseFloorDBm:        -94,
+		SensitivityDBm:       -92,
+		PreambleOffsetDB:     0,
+		CSThresholdDBm:       -90,
+		ImplementationLossDB: 5,
+		CaptureMarginDB:      10,
+		DeliveryFloorDBm:     -108,
+	}
+}
+
+// IsolationPRR returns the analytic packet reception ratio of a frame of
+// wireBytes at rate r received at rxPowerDBm with no interference. It is
+// the quantity the paper measures "transmitting in isolation" (§5.1) to
+// classify links.
+func IsolationPRR(p Params, r Rate, rxPowerDBm float64, wireBytes int) float64 {
+	if rxPowerDBm < p.SensitivityDBm {
+		return 0
+	}
+	sinr := rxPowerDBm - p.NoiseFloorDBm - p.ImplementationLossDB
+	return LockProbability(sinr, p.PreambleOffsetDB) * (1 - PacketErrorRate(r, sinr, wireBytes))
+}

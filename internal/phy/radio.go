@@ -1,0 +1,329 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/frame"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// Signal is one transmission as perceived by one receiver: the frame, its
+// rate, and the power it arrives with at that receiver. The medium creates
+// a Signal per (transmission, receiver) pair.
+type Signal struct {
+	// TxID identifies the transmission network-wide (all receivers of one
+	// transmission share it).
+	TxID uint64
+	// From is the transmitting node ID.
+	From int
+	// Frame is the frame being carried.
+	Frame frame.Frame
+	// Rate is the transmission bit-rate.
+	Rate Rate
+	// PowerMW is the received power at this radio in milliwatts.
+	PowerMW float64
+	// Start and End bound the on-air interval.
+	Start, End sim.Time
+}
+
+// PowerDBm returns the received power in dBm.
+func (s *Signal) PowerDBm() float64 { return radio.MWToDBm(s.PowerMW) }
+
+// RxInfo describes a reception outcome delivered to the MAC.
+type RxInfo struct {
+	From     int     // transmitting node ID
+	PowerDBm float64 // received power
+	Rate     Rate
+	Start    sim.Time // when the frame hit the antenna
+	End      sim.Time // when it ended
+}
+
+// Handler is the MAC-facing upcall interface of a radio. Radios are
+// promiscuous: every decodable frame is delivered regardless of its
+// destination address, as CMAP requires (§3).
+type Handler interface {
+	// OnFrame delivers a successfully decoded frame.
+	OnFrame(f frame.Frame, info RxInfo)
+	// OnCorrupt reports a frame the radio locked onto but failed to
+	// decode (a collision or noise loss).
+	OnCorrupt(info RxInfo)
+	// OnTxDone reports the end of this radio's own transmission.
+	OnTxDone(f frame.Frame)
+	// OnCarrier reports carrier-sense transitions (busy=true on the
+	// idle→busy edge, busy=false on busy→idle).
+	OnCarrier(busy bool)
+}
+
+// Channel is the medium-facing downcall interface of a radio; the medium
+// package implements it.
+type Channel interface {
+	// Transmit puts a frame on the air from the given radio at the given
+	// rate and returns the transmission end time.
+	Transmit(from *Radio, f frame.Frame, r Rate) sim.Time
+}
+
+// Radio is a half-duplex 802.11a transceiver. It tracks all signals
+// currently on the air at its antenna, attempts preamble lock on new
+// frames when idle, integrates SINR across interference segments while
+// receiving, and answers carrier-sense queries.
+type Radio struct {
+	id      int
+	params  Params
+	sched   *sim.Scheduler
+	rng     *sim.RNG
+	channel Channel
+	handler Handler
+
+	noiseMW float64
+	csMW    float64
+
+	transmitting bool
+	txFrame      frame.Frame
+
+	active map[uint64]*Signal
+	// totalMW is the sum of active signal powers (incrementally maintained).
+	totalMW float64
+
+	locked      *Signal
+	lockLogSucc float64
+	segStart    sim.Time
+
+	carrierBusy bool
+
+	stats RadioStats
+}
+
+// RadioStats counts reception outcomes for diagnostics and the
+// header/trailer delivery figures.
+type RadioStats struct {
+	Decoded     uint64 // frames decoded successfully
+	Corrupted   uint64 // locked but failed decode (or truncated by capture)
+	Missed      uint64 // signals that never achieved lock
+	AbortedRx   uint64 // receptions abandoned because the MAC transmitted
+	Captures    uint64 // locks stolen by a much stronger arrival
+	Transmitted uint64
+}
+
+// NewRadio creates a radio for node id. handler must be set with
+// SetHandler before any traffic flows; channel is the medium.
+func NewRadio(id int, params Params, sched *sim.Scheduler, rng *sim.RNG, channel Channel) *Radio {
+	return &Radio{
+		id:      id,
+		params:  params,
+		sched:   sched,
+		rng:     rng,
+		channel: channel,
+		noiseMW: radio.DBmToMW(params.NoiseFloorDBm),
+		csMW:    radio.DBmToMW(params.CSThresholdDBm),
+		active:  make(map[uint64]*Signal),
+	}
+}
+
+// ID returns the node ID this radio belongs to.
+func (r *Radio) ID() int { return r.id }
+
+// SetHandler installs the MAC upcall target.
+func (r *Radio) SetHandler(h Handler) { r.handler = h }
+
+// Stats returns a copy of the radio's counters.
+func (r *Radio) Stats() RadioStats { return r.stats }
+
+// Params returns the transceiver constants.
+func (r *Radio) Params() Params { return r.params }
+
+// Transmitting reports whether the radio is currently sending.
+func (r *Radio) Transmitting() bool { return r.transmitting }
+
+// CarrierBusy reports the carrier-sense state: busy while transmitting,
+// while locked onto an incoming frame, or while total in-air power at the
+// antenna exceeds the carrier-sense threshold.
+func (r *Radio) CarrierBusy() bool {
+	return r.transmitting || r.locked != nil || r.totalMW >= r.csMW
+}
+
+// Transmit starts sending f at rate rate. The radio is half-duplex: any
+// reception in progress is abandoned. Transmitting while already
+// transmitting is a MAC bug and panics. Returns the transmission end time.
+func (r *Radio) Transmit(f frame.Frame, rate Rate) sim.Time {
+	if r.transmitting {
+		panic(fmt.Sprintf("phy: node %d transmit while transmitting", r.id))
+	}
+	if r.locked != nil {
+		// Abandon the reception; the frame is lost to us.
+		r.stats.AbortedRx++
+		r.locked = nil
+		r.lockLogSucc = 0
+	}
+	r.transmitting = true
+	r.txFrame = f
+	r.stats.Transmitted++
+	r.channel.Transmit(r, f, rate)
+	r.updateCarrier()
+	return 0
+}
+
+// TxDone is called by the medium when this radio's transmission ends.
+// MACs never call it.
+func (r *Radio) TxDone() {
+	r.transmitting = false
+	f := r.txFrame
+	r.txFrame = nil
+	r.updateCarrier()
+	if r.handler != nil {
+		r.handler.OnTxDone(f)
+	}
+}
+
+// SignalStart is called by the medium when a transmission begins to be
+// heard at this radio.
+func (r *Radio) SignalStart(s *Signal) {
+	now := r.sched.Now()
+	// Close the running interference segment of a locked reception before
+	// the interference set changes.
+	if r.locked != nil {
+		r.closeSegment(now)
+	}
+	r.active[s.TxID] = s
+	r.totalMW += s.PowerMW
+	switch {
+	case r.transmitting:
+		r.stats.Missed++
+	case r.locked == nil:
+		r.tryLock(s, now)
+	default:
+		r.tryCapture(s, now)
+	}
+	r.updateCarrier()
+}
+
+// tryCapture models OFDM sync restart: a frame arriving far above the
+// currently locked (weaker) frame captures the receiver. The old frame is
+// abandoned and reported corrupted.
+func (r *Radio) tryCapture(s *Signal, now sim.Time) {
+	if r.params.CaptureMarginDB <= 0 {
+		return // capture disabled
+	}
+	if s.PowerDBm() < r.params.SensitivityDBm {
+		return
+	}
+	interf := r.totalMW - s.PowerMW
+	if interf < 0 {
+		interf = 0
+	}
+	sinr := radio.SINR(s.PowerMW, r.noiseMW, interf) - r.params.ImplementationLossDB
+	need := sinr - r.params.CaptureMarginDB
+	if r.rng.Float64() >= LockProbability(need, r.params.PreambleOffsetDB) {
+		return
+	}
+	old := r.locked
+	r.locked = s
+	r.lockLogSucc = 0
+	r.segStart = now
+	r.stats.Captures++
+	r.stats.Corrupted++
+	if r.handler != nil {
+		r.handler.OnCorrupt(RxInfo{
+			From:     old.From,
+			PowerDBm: old.PowerDBm(),
+			Rate:     old.Rate,
+			Start:    old.Start,
+			End:      now,
+		})
+	}
+}
+
+// SignalEnd is called by the medium when a transmission stops being heard
+// at this radio.
+func (r *Radio) SignalEnd(s *Signal) {
+	now := r.sched.Now()
+	if r.locked != nil {
+		r.closeSegment(now)
+	}
+	delete(r.active, s.TxID)
+	r.totalMW -= s.PowerMW
+	if r.totalMW < 0 {
+		r.totalMW = 0
+	}
+	if r.locked == s {
+		r.finishReception(s, now)
+	}
+	r.updateCarrier()
+}
+
+// tryLock attempts preamble acquisition on s. Acquisition is
+// probabilistic: a short BPSK block must decode at the instantaneous SINR.
+func (r *Radio) tryLock(s *Signal, now sim.Time) {
+	if s.PowerDBm() < r.params.SensitivityDBm {
+		r.stats.Missed++
+		return
+	}
+	interf := r.totalMW - s.PowerMW
+	if interf < 0 {
+		interf = 0
+	}
+	sinr := radio.SINR(s.PowerMW, r.noiseMW, interf) - r.params.ImplementationLossDB
+	if r.rng.Float64() >= LockProbability(sinr, r.params.PreambleOffsetDB) {
+		r.stats.Missed++
+		return
+	}
+	r.locked = s
+	r.lockLogSucc = 0
+	r.segStart = now
+}
+
+// closeSegment integrates the bit-success probability of the locked frame
+// over [segStart, now) at the current interference level.
+func (r *Radio) closeSegment(now sim.Time) {
+	s := r.locked
+	dur := now - r.segStart
+	r.segStart = now
+	if dur <= 0 {
+		return
+	}
+	interf := r.totalMW - s.PowerMW
+	if interf < 0 {
+		interf = 0
+	}
+	sinr := radio.SINR(s.PowerMW, r.noiseMW, interf) - r.params.ImplementationLossDB
+	ber := BitErrorRate(s.Rate, sinr)
+	bits := float64(dur) * s.Rate.Mbps / 1000 // ns × Mb/s = 1e-3 bits
+	r.lockLogSucc += logSuccess(ber, bits)
+}
+
+// finishReception resolves the decode of a completed locked frame.
+func (r *Radio) finishReception(s *Signal, now sim.Time) {
+	r.locked = nil
+	info := RxInfo{
+		From:     s.From,
+		PowerDBm: s.PowerDBm(),
+		Rate:     s.Rate,
+		Start:    s.Start,
+		End:      now,
+	}
+	pSuccess := math.Exp(r.lockLogSucc)
+	r.lockLogSucc = 0
+	if r.handler == nil {
+		return
+	}
+	if r.rng.Float64() < pSuccess {
+		r.stats.Decoded++
+		r.handler.OnFrame(s.Frame, info)
+	} else {
+		r.stats.Corrupted++
+		r.handler.OnCorrupt(info)
+	}
+}
+
+// updateCarrier delivers carrier-sense edges to the MAC.
+func (r *Radio) updateCarrier() {
+	busy := r.CarrierBusy()
+	if busy == r.carrierBusy {
+		return
+	}
+	r.carrierBusy = busy
+	if r.handler != nil {
+		r.handler.OnCarrier(busy)
+	}
+}

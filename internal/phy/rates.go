@@ -1,0 +1,126 @@
+// Package phy models the 802.11a OFDM physical layer: the eight bit-rates
+// with their modulation and coding, frame airtime, analytic BER→PER curves
+// as a function of SINR, and a half-duplex transceiver state machine with
+// preamble locking, segment-wise interference accounting, and capture.
+package phy
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Modulation enumerates the OFDM subcarrier modulations of 802.11a.
+type Modulation uint8
+
+// Modulations.
+const (
+	BPSK Modulation = iota
+	QPSK
+	QAM16
+	QAM64
+)
+
+// String returns the modulation mnemonic.
+func (m Modulation) String() string {
+	switch m {
+	case BPSK:
+		return "BPSK"
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16-QAM"
+	case QAM64:
+		return "64-QAM"
+	default:
+		return fmt.Sprintf("mod(%d)", uint8(m))
+	}
+}
+
+// RateID indexes the 802.11a rate table.
+type RateID uint8
+
+// The 802.11a rates.
+const (
+	Rate6Mbps RateID = iota
+	Rate9Mbps
+	Rate12Mbps
+	Rate18Mbps
+	Rate24Mbps
+	Rate36Mbps
+	Rate48Mbps
+	Rate54Mbps
+)
+
+// Rate describes one entry of the 802.11a rate table.
+type Rate struct {
+	ID            RateID
+	Mbps          float64
+	Mod           Modulation
+	CodeRate      float64 // convolutional code rate
+	BitsPerSymbol int     // data bits per 4 µs OFDM symbol
+	// codingGainDB is the effective soft-decision Viterbi coding gain used
+	// by the analytic BER model.
+	codingGainDB float64
+}
+
+// String formats the rate as e.g. "6 Mb/s (BPSK 1/2)".
+func (r Rate) String() string {
+	return fmt.Sprintf("%g Mb/s (%s %.2g)", r.Mbps, r.Mod, r.CodeRate)
+}
+
+var rateTable = [...]Rate{
+	{Rate6Mbps, 6, BPSK, 0.5, 24, 5.0},
+	{Rate9Mbps, 9, BPSK, 0.75, 36, 3.8},
+	{Rate12Mbps, 12, QPSK, 0.5, 48, 5.0},
+	{Rate18Mbps, 18, QPSK, 0.75, 72, 3.8},
+	{Rate24Mbps, 24, QAM16, 0.5, 96, 5.0},
+	{Rate36Mbps, 36, QAM16, 0.75, 144, 3.8},
+	{Rate48Mbps, 48, QAM64, 2.0 / 3.0, 192, 4.3},
+	{Rate54Mbps, 54, QAM64, 0.75, 216, 3.8},
+}
+
+// Rates returns the full 802.11a rate table in ascending order.
+func Rates() []Rate {
+	out := make([]Rate, len(rateTable))
+	copy(out, rateTable[:])
+	return out
+}
+
+// RateByID returns the rate table entry for id. It panics on an invalid ID.
+func RateByID(id RateID) Rate {
+	if int(id) >= len(rateTable) {
+		panic(fmt.Sprintf("phy: invalid rate id %d", id))
+	}
+	return rateTable[id]
+}
+
+// 802.11a OFDM timing constants.
+const (
+	// PreambleTime covers the PLCP preamble (16 µs) and SIGNAL field (4 µs).
+	PreambleTime = 20 * sim.Microsecond
+	// SymbolTime is one OFDM symbol.
+	SymbolTime = 4 * sim.Microsecond
+	// SlotTime is the 802.11a slot.
+	SlotTime = 9 * sim.Microsecond
+	// SIFS is the short interframe space.
+	SIFS = 16 * sim.Microsecond
+	// DIFS = SIFS + 2 slots.
+	DIFS = SIFS + 2*SlotTime
+	// serviceAndTailBits is the PLCP SERVICE field (16) plus tail bits (6)
+	// prepended/appended to the PSDU.
+	serviceAndTailBits = 22
+)
+
+// Airtime returns the on-air duration of a frame of the given wire size at
+// rate r: preamble plus the OFDM symbols covering service, payload and
+// tail bits.
+func Airtime(r Rate, wireBytes int) sim.Time {
+	bits := serviceAndTailBits + 8*wireBytes
+	symbols := (bits + r.BitsPerSymbol - 1) / r.BitsPerSymbol
+	return PreambleTime + sim.Time(symbols)*SymbolTime
+}
+
+// PayloadBits returns the coded-payload bit count the PER model integrates
+// over for a frame of wireBytes.
+func PayloadBits(wireBytes int) int { return serviceAndTailBits + 8*wireBytes }

@@ -1,0 +1,156 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+func TestPowerConversionRoundTrip(t *testing.T) {
+	f := func(raw int16) bool {
+		dbm := float64(raw) / 100 // -327.68 .. 327.67 dBm
+		return math.Abs(MWToDBm(DBmToMW(dbm))-dbm) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerConversionAnchors(t *testing.T) {
+	if got := DBmToMW(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("DBmToMW(0) = %v, want 1", got)
+	}
+	if got := DBmToMW(30); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("DBmToMW(30) = %v, want 1000", got)
+	}
+	if got := MWToDBm(0); !math.IsInf(got, -1) {
+		t.Errorf("MWToDBm(0) = %v, want -inf", got)
+	}
+	if got := DB(100); math.Abs(got-20) > 1e-12 {
+		t.Errorf("DB(100) = %v, want 20", got)
+	}
+	if got := FromDB(3); math.Abs(got-1.9953) > 1e-3 {
+		t.Errorf("FromDB(3) = %v, want ≈1.995", got)
+	}
+}
+
+func TestLogDistanceMonotonic(t *testing.T) {
+	m := &LogDistance{RefLossDB: 46.8, Exponent: 3.3} // no shadowing
+	a := geo.Point{X: 0, Y: 0}
+	prev := -1.0
+	for d := 1.0; d <= 100; d += 1 {
+		loss := m.Loss(0, a, 1, geo.Point{X: d, Y: 0})
+		if loss <= prev {
+			t.Fatalf("loss not monotonic at d=%v: %v <= %v", d, loss, prev)
+		}
+		prev = loss
+	}
+}
+
+func TestLogDistanceReference(t *testing.T) {
+	m := &LogDistance{RefLossDB: 40, Exponent: 3}
+	got := m.Loss(0, geo.Point{X: 0, Y: 0}, 1, geo.Point{X: 10, Y: 0})
+	if math.Abs(got-70) > 1e-9 { // 40 + 30·log10(10)
+		t.Errorf("loss at 10 m = %v, want 70", got)
+	}
+}
+
+func TestLogDistanceMinDistanceClamp(t *testing.T) {
+	m := &LogDistance{RefLossDB: 40, Exponent: 3}
+	at0 := m.Loss(0, geo.Point{X: 0, Y: 0}, 1, geo.Point{X: 0, Y: 0})
+	at1 := m.Loss(0, geo.Point{X: 0, Y: 0}, 1, geo.Point{X: 1, Y: 0})
+	if at0 != at1 {
+		t.Errorf("loss at 0 m (%v) should clamp to loss at 1 m (%v)", at0, at1)
+	}
+}
+
+func TestShadowingReciprocal(t *testing.T) {
+	m := DefaultIndoor5GHz(99)
+	pa, pb := geo.Point{X: 3, Y: 4}, geo.Point{X: 20, Y: 9}
+	ab := m.Loss(7, pa, 13, pb)
+	ba := m.Loss(13, pb, 7, pa)
+	if ab != ba {
+		t.Errorf("channel not reciprocal: a→b %v, b→a %v", ab, ba)
+	}
+}
+
+func TestShadowingDeterministicAcrossInstances(t *testing.T) {
+	m1 := DefaultIndoor5GHz(42)
+	m2 := DefaultIndoor5GHz(42)
+	pa, pb := geo.Point{X: 0, Y: 0}, geo.Point{X: 15, Y: 5}
+	if m1.Loss(1, pa, 2, pb) != m2.Loss(1, pa, 2, pb) {
+		t.Error("same seed produced different shadowing")
+	}
+	m3 := DefaultIndoor5GHz(43)
+	if m1.Loss(1, pa, 2, pb) == m3.Loss(1, pa, 2, pb) {
+		t.Error("different seeds produced identical shadowing (suspicious)")
+	}
+}
+
+func TestShadowingDistribution(t *testing.T) {
+	m := DefaultIndoor5GHz(7)
+	base := &LogDistance{RefLossDB: m.RefLossDB, Exponent: m.Exponent, MinDistance: 1}
+	pa := geo.Point{X: 0, Y: 0}
+	pb := geo.Point{X: 20, Y: 0}
+	var sum, sumsq float64
+	n := 2000
+	for i := 0; i < n; i++ {
+		dev := m.Loss(i, pa, i+10000, pb) - base.Loss(i, pa, i+10000, pb)
+		sum += dev
+		sumsq += dev * dev
+	}
+	mean := sum / float64(n)
+	sd := math.Sqrt(sumsq/float64(n) - mean*mean)
+	if math.Abs(mean) > 0.5 {
+		t.Errorf("shadowing mean = %v dB, want ≈0", mean)
+	}
+	if sd < 5 || sd > 7 {
+		t.Errorf("shadowing sd = %v dB, want ≈6", sd)
+	}
+}
+
+func TestFreeSpaceModel(t *testing.T) {
+	m := &FreeSpace{RefLossDB: 40, Exponent: 2}
+	got := m.Loss(0, geo.Point{X: 0, Y: 0}, 1, geo.Point{X: 100, Y: 0})
+	if math.Abs(got-80) > 1e-9 {
+		t.Errorf("free space at 100 m = %v, want 80", got)
+	}
+}
+
+func TestMatrixModel(t *testing.T) {
+	m := &Matrix{LossDB: [][]float64{
+		{0, 50, 90},
+		{50, 0, 70},
+		{90, 70, 0},
+	}}
+	if m.Loss(0, geo.Point{}, 2, geo.Point{}) != 90 {
+		t.Error("matrix loss lookup failed")
+	}
+}
+
+func TestSINR(t *testing.T) {
+	// Signal -60 dBm, noise -95 dBm, no interference: SINR = 35 dB.
+	got := SINR(DBmToMW(-60), DBmToMW(-95), 0)
+	if math.Abs(got-35) > 1e-9 {
+		t.Errorf("SINR = %v, want 35", got)
+	}
+	// Equal-power interferer dominates noise: SINR ≈ 0 dB.
+	got = SINR(DBmToMW(-60), DBmToMW(-95), DBmToMW(-60))
+	if math.Abs(got) > 0.01 {
+		t.Errorf("SINR with equal interferer = %v, want ≈0", got)
+	}
+}
+
+func TestSINRDecreasesWithInterference(t *testing.T) {
+	sig, noise := DBmToMW(-60), DBmToMW(-95)
+	prev := math.Inf(1)
+	for dbm := -95.0; dbm <= -40; dbm += 5 {
+		s := SINR(sig, noise, DBmToMW(dbm))
+		if s >= prev {
+			t.Fatalf("SINR not decreasing at interferer %v dBm", dbm)
+		}
+		prev = s
+	}
+}

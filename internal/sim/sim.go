@@ -1,0 +1,186 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock with nanosecond resolution, a cancellable event queue,
+// and seeded random-number streams.
+//
+// The kernel is single-goroutine by design. Wireless MAC protocols are
+// reactive state machines driven by a totally ordered event sequence;
+// running them on one goroutine with a heap-ordered agenda keeps every
+// experiment reproducible from its seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It is deliberately not time.Time: simulations begin at zero
+// and have no wall-clock meaning.
+type Time int64
+
+// Common durations in virtual time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts a standard library duration to virtual time.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// An event is a scheduled callback. Events with equal deadlines fire in
+// scheduling order (seq breaks ties), which keeps runs stable across
+// map-iteration and heap-sift nondeterminism.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once removed
+}
+
+// Timer is a handle to a scheduled event; it can be stopped before firing.
+type Timer struct {
+	ev *event
+	s  *Scheduler
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending
+// (false if it already fired or was previously stopped). Stopping a nil
+// timer is a no-op that returns false.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&t.s.queue, t.ev.index)
+	t.ev.index = -1
+	t.ev.fn = nil
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool { return t != nil && t.ev != nil && t.ev.index >= 0 }
+
+// When returns the deadline of the timer. It is valid even after the timer
+// fired or was stopped.
+func (t *Timer) When() Time {
+	if t == nil || t.ev == nil {
+		return 0
+	}
+	return t.ev.at
+}
+
+// eventQueue is a binary min-heap over (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler owns the virtual clock and the event agenda.
+// The zero value is ready to use.
+type Scheduler struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	fired   uint64
+}
+
+// NewScheduler returns an empty scheduler with the clock at zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Pending returns the number of events waiting in the agenda.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Fired returns the total number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: a MAC state machine that rewinds time is a bug, not a request.
+func (s *Scheduler) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	ev := &event{at: t, seq: s.nextSeq, fn: fn}
+	s.nextSeq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev, s: s}
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the next event, advancing the clock to its deadline.
+// It reports false when the agenda is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.fn == nil { // stopped after being popped: cannot happen, but be safe
+			continue
+		}
+		s.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		s.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the agenda is empty or the clock would pass
+// until. The clock is left at until (or at the last event if the agenda
+// drained first but never beyond until).
+func (s *Scheduler) Run(until Time) {
+	for len(s.queue) > 0 && s.queue[0].at <= until {
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// RunAll executes events until the agenda is empty. Use only in tests or
+// workloads that are guaranteed to quiesce.
+func (s *Scheduler) RunAll() {
+	for s.Step() {
+	}
+}

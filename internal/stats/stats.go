@@ -1,0 +1,207 @@
+// Package stats provides the measurement utilities the experiments use:
+// sample distributions with percentiles and CDFs, and throughput meters
+// that replicate the paper's methodology (non-duplicate packets counted
+// over the tail of the run).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Dist accumulates float64 samples and answers order statistics.
+// The zero value is ready to use.
+type Dist struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends a sample.
+func (d *Dist) Add(v float64) {
+	d.xs = append(d.xs, v)
+	d.sorted = false
+}
+
+// AddAll appends many samples.
+func (d *Dist) AddAll(vs []float64) {
+	d.xs = append(d.xs, vs...)
+	d.sorted = false
+}
+
+// N returns the sample count.
+func (d *Dist) N() int { return len(d.xs) }
+
+// Mean returns the sample mean, or 0 for an empty distribution.
+func (d *Dist) Mean() float64 {
+	if len(d.xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range d.xs {
+		s += v
+	}
+	return s / float64(len(d.xs))
+}
+
+// Std returns the population standard deviation.
+func (d *Dist) Std() float64 {
+	n := len(d.xs)
+	if n == 0 {
+		return 0
+	}
+	m := d.Mean()
+	var ss float64
+	for _, v := range d.xs {
+		ss += (v - m) * (v - m)
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+func (d *Dist) sort() {
+	if !d.sorted {
+		sort.Float64s(d.xs)
+		d.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between order statistics. Empty distributions return 0.
+func (d *Dist) Percentile(p float64) float64 {
+	if len(d.xs) == 0 {
+		return 0
+	}
+	d.sort()
+	if p <= 0 {
+		return d.xs[0]
+	}
+	if p >= 100 {
+		return d.xs[len(d.xs)-1]
+	}
+	rank := p / 100 * float64(len(d.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return d.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return d.xs[lo]*(1-frac) + d.xs[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (d *Dist) Median() float64 { return d.Percentile(50) }
+
+// Min returns the smallest sample.
+func (d *Dist) Min() float64 { return d.Percentile(0) }
+
+// Max returns the largest sample.
+func (d *Dist) Max() float64 { return d.Percentile(100) }
+
+// FractionBelow returns the empirical CDF value at x: the fraction of
+// samples ≤ x.
+func (d *Dist) FractionBelow(x float64) float64 {
+	if len(d.xs) == 0 {
+		return 0
+	}
+	d.sort()
+	i := sort.SearchFloat64s(d.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(d.xs))
+}
+
+// CDFPoint is one (value, cumulative fraction) pair.
+type CDFPoint struct {
+	X float64 // sample value
+	P float64 // fraction of samples ≤ X
+}
+
+// CDF returns the full empirical CDF, one point per sample.
+func (d *Dist) CDF() []CDFPoint {
+	d.sort()
+	out := make([]CDFPoint, len(d.xs))
+	for i, v := range d.xs {
+		out[i] = CDFPoint{X: v, P: float64(i+1) / float64(len(d.xs))}
+	}
+	return out
+}
+
+// Values returns a copy of the samples in sorted order.
+func (d *Dist) Values() []float64 {
+	d.sort()
+	return append([]float64(nil), d.xs...)
+}
+
+// Summary formats n/mean/median/p25/p75 on one line.
+func (d *Dist) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.3f median=%.3f p25=%.3f p75=%.3f",
+		d.N(), d.Mean(), d.Median(), d.Percentile(25), d.Percentile(75))
+}
+
+// Meter measures goodput the way the paper does (§5.1): it counts
+// non-duplicate data packets delivered between Start and End of virtual
+// time and reports bits/s over that window. Deduplication is the
+// caller's job (the link layers know their sequence spaces).
+type Meter struct {
+	// Start and End bound the measurement window.
+	Start, End sim.Time
+	packets    uint64
+	bytes      uint64
+}
+
+// Record counts one delivered non-duplicate packet of the given payload
+// size if now falls inside the measurement window.
+func (m *Meter) Record(now sim.Time, payloadBytes int) {
+	if now < m.Start || now > m.End {
+		return
+	}
+	m.packets++
+	m.bytes += uint64(payloadBytes)
+}
+
+// Packets returns the number of packets recorded.
+func (m *Meter) Packets() uint64 { return m.packets }
+
+// Mbps returns the measured goodput in megabits per second.
+func (m *Meter) Mbps() float64 {
+	window := (m.End - m.Start).Seconds()
+	if window <= 0 {
+		return 0
+	}
+	return float64(m.bytes) * 8 / window / 1e6
+}
+
+// Ratio is a convenience counter for success fractions.
+type Ratio struct {
+	Hits, Total uint64
+}
+
+// Observe counts one trial, hit or miss.
+func (r *Ratio) Observe(hit bool) {
+	r.Total++
+	if hit {
+		r.Hits++
+	}
+}
+
+// Value returns hits/total, or 0 when empty.
+func (r *Ratio) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Total)
+}
+
+// FormatCDFs renders several named distributions as aligned columns of
+// selected percentiles — the textual stand-in for the paper's CDF plots.
+func FormatCDFs(names []string, dists []*Dist) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %8s %8s %8s %8s %8s %8s\n", "series", "p10", "p25", "p50", "p75", "p90", "mean")
+	for i, name := range names {
+		d := dists[i]
+		fmt.Fprintf(&b, "%-24s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+			name, d.Percentile(10), d.Percentile(25), d.Median(), d.Percentile(75), d.Percentile(90), d.Mean())
+	}
+	return b.String()
+}

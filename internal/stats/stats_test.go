@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestDistBasics(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		d.Add(v)
+	}
+	if d.N() != 5 {
+		t.Errorf("N = %d", d.N())
+	}
+	if d.Mean() != 3 {
+		t.Errorf("Mean = %v", d.Mean())
+	}
+	if d.Median() != 3 {
+		t.Errorf("Median = %v", d.Median())
+	}
+	if d.Min() != 1 || d.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", d.Min(), d.Max())
+	}
+	if got := d.Std(); math.Abs(got-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("Std = %v, want sqrt(2)", got)
+	}
+}
+
+func TestDistEmpty(t *testing.T) {
+	var d Dist
+	if d.Mean() != 0 || d.Median() != 0 || d.Std() != 0 || d.FractionBelow(1) != 0 {
+		t.Error("empty dist should return zeros")
+	}
+	if len(d.CDF()) != 0 {
+		t.Error("empty dist CDF should be empty")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var d Dist
+	d.AddAll([]float64{0, 10})
+	if got := d.Percentile(50); got != 5 {
+		t.Errorf("p50 of {0,10} = %v, want 5", got)
+	}
+	if got := d.Percentile(25); got != 2.5 {
+		t.Errorf("p25 = %v, want 2.5", got)
+	}
+	if d.Percentile(-5) != 0 || d.Percentile(200) != 10 {
+		t.Error("percentile clamping failed")
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		var d Dist
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				d.Add(v)
+			}
+		}
+		if d.N() == 0 {
+			return true
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return d.Percentile(pa) <= d.Percentile(pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	var d Dist
+	d.AddAll([]float64{3, 1, 2, 2, 5})
+	cdf := d.CDF()
+	if len(cdf) != 5 {
+		t.Fatalf("CDF has %d points", len(cdf))
+	}
+	if !sort.SliceIsSorted(cdf, func(i, j int) bool { return cdf[i].X < cdf[j].X }) {
+		// equal Xs allowed; check non-decreasing
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].X < cdf[i-1].X {
+				t.Fatal("CDF X values decrease")
+			}
+		}
+	}
+	if cdf[len(cdf)-1].P != 1 {
+		t.Errorf("final CDF P = %v, want 1", cdf[len(cdf)-1].P)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].P <= cdf[i-1].P {
+			t.Fatal("CDF P values must strictly increase per sample")
+		}
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	var d Dist
+	d.AddAll([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {9, 1},
+	}
+	for _, c := range cases {
+		if got := d.FractionBelow(c.x); got != c.want {
+			t.Errorf("FractionBelow(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestMeterWindow(t *testing.T) {
+	m := Meter{Start: 40 * sim.Second, End: 100 * sim.Second}
+	m.Record(10*sim.Second, 1400)  // before window: ignored
+	m.Record(50*sim.Second, 1400)  // counted
+	m.Record(100*sim.Second, 1400) // boundary: counted
+	m.Record(101*sim.Second, 1400) // after: ignored
+	if m.Packets() != 2 {
+		t.Errorf("Packets = %d, want 2", m.Packets())
+	}
+	want := float64(2*1400*8) / 60 / 1e6
+	if math.Abs(m.Mbps()-want) > 1e-12 {
+		t.Errorf("Mbps = %v, want %v", m.Mbps(), want)
+	}
+}
+
+func TestMeterDegenerate(t *testing.T) {
+	m := Meter{Start: 5 * sim.Second, End: 5 * sim.Second}
+	m.Record(5*sim.Second, 100)
+	if m.Mbps() != 0 {
+		t.Error("zero-width window should report 0 Mbps")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+	r.Observe(true)
+	r.Observe(true)
+	r.Observe(false)
+	if math.Abs(r.Value()-2.0/3.0) > 1e-12 {
+		t.Errorf("Value = %v", r.Value())
+	}
+}
+
+func TestValuesCopy(t *testing.T) {
+	var d Dist
+	d.AddAll([]float64{2, 1})
+	vs := d.Values()
+	if vs[0] != 1 || vs[1] != 2 {
+		t.Errorf("Values = %v, want sorted", vs)
+	}
+	vs[0] = 99
+	if d.Min() == 99 {
+		t.Error("Values must return a copy")
+	}
+}
+
+func TestFormatCDFs(t *testing.T) {
+	var a, b Dist
+	a.AddAll([]float64{1, 2, 3})
+	b.AddAll([]float64{4, 5, 6})
+	out := FormatCDFs([]string{"alpha", "beta"}, []*Dist{&a, &b})
+	if len(out) == 0 {
+		t.Fatal("empty output")
+	}
+	// Three lines: header + two series.
+	lines := 0
+	for _, c := range out {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != 3 {
+		t.Errorf("FormatCDFs produced %d lines, want 3", lines)
+	}
+}
