@@ -1,0 +1,29 @@
+# Standard entry points for building and verifying the CMAP reproduction.
+#
+#   make build      compile every package and command
+#   make test       fast, deterministic tier (go test -short) — CI default
+#   make test-full  full-fidelity test scale (slower)
+#   make race       race-detector pass over the concurrent packages
+#   make bench      benchmark trajectory, one iteration per benchmark
+#   make check      build + test, the tier-1 gate
+
+GO ?= go
+
+.PHONY: build test test-full race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -short ./...
+
+test-full:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./internal/runner ./internal/experiments ./internal/core ./internal/sim
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+check: build test

@@ -20,6 +20,12 @@
 // (AddDCF), with options to disable carrier sense or link ACKs, change
 // bit-rate, or resize CMAP's virtual packets and send window — the knobs
 // the paper's evaluation turns.
+//
+// The paper's full evaluation lives in internal/experiments; its trials
+// fan out across a worker pool (internal/runner) with hierarchically
+// derived seeds, so experiment results are bit-identical at every
+// worker count. See README.md for the figure suite and the -parallel /
+// -trials flags of cmd/cmapbench and cmd/cmapsim.
 package cmap
 
 import (

@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	cmapbench [-seed N] [-scale quick|mid|paper] [-only fig12,mesh,...]
+//	cmapbench [-seed N] [-scale quick|mid|paper] [-only fig12,mesh,...] [-parallel W] [-trials N] [-progress]
 //
 // "paper" runs the full 100-second, 50-topology methodology (slow);
 // "mid" is the EXPERIMENTS.md scale (30 s runs); "quick" is CI-sized.
+//
+// Trials fan out across -parallel worker goroutines (default: all CPUs);
+// the numbers are bit-identical at every worker count, so -parallel only
+// changes wall-clock time. -trials overrides every per-experiment
+// topology/run count (Pairs, Triples, APRuns, Meshes) for custom sweeps.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/phy"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topo"
 )
@@ -27,6 +33,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master seed (same seed → identical numbers)")
 	scale := flag.String("scale", "mid", "quick | mid | paper")
 	only := flag.String("only", "", "comma-separated subset: census,calibration,fig12,fig13,fig14,fig15,fig16,fig17,fig19,fig20,mesh")
+	parallel := flag.Int("parallel", 0, "worker goroutines per experiment (0 = all CPUs, 1 = serial)")
+	trials := flag.Int("trials", 0, "override per-experiment trial counts (Pairs/Triples/APRuns/Meshes); 0 keeps the scale's defaults")
+	progress := flag.Bool("progress", false, "report per-experiment trial progress on stderr")
 	flag.Parse()
 
 	var opt experiments.Options
@@ -47,6 +56,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+	opt.Workers = *parallel
+	if *trials > 0 {
+		opt.Pairs = *trials
+		opt.Triples = *trials
+		opt.APRuns = *trials
+		opt.Meshes = *trials
+	}
+	if *progress {
+		opt.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d trials", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -57,7 +81,9 @@ func main() {
 	sel := func(k string) bool { return len(want) == 0 || want[k] }
 
 	fmt.Printf("cmapbench — CMAP (NSDI 2008) evaluation reproduction\n")
-	fmt.Printf("seed=%d scale=%s duration=%v pairs=%d\n\n", *seed, *scale, time.Duration(opt.Duration), opt.Pairs)
+	fmt.Printf("seed=%d scale=%s duration=%v pairs=%d workers=%d\n\n",
+		*seed, *scale, time.Duration(opt.Duration), opt.Pairs,
+		runner.Config{Workers: opt.Workers}.EffectiveWorkers())
 
 	tb := topo.NewTestbed(opt.Nodes, opt.Seed)
 

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	cmapsim [-seed N] [-topology exposed|inrange|hidden] [-protocol cmap|cmap1|dcf|dcf-nocs|dcf-nocs-noack] [-duration 30s] [-index 0]
+//	cmapsim [-seed N] [-topology exposed|inrange|hidden] [-protocol cmap|cmap1|dcf|dcf-nocs|dcf-nocs-noack] [-duration 30s] [-index 0] [-trials 1] [-parallel 0]
+//
+// With -trials above one, the same topology is replayed under
+// independently seeded channel/protocol randomness and the per-trial
+// aggregates are summarised; trials fan out across -parallel worker
+// goroutines (default all CPUs) with bit-identical results at any count.
 package main
 
 import (
@@ -15,11 +20,92 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/csma"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
+
+// trialResult is one replication's measured goodput.
+type trialResult struct {
+	flows [2]float64
+	agg   float64
+}
+
+// runTrial replays the scenario once from the given seed. detail turns on
+// the verbose per-flow counter report and optional tracing (single-trial
+// mode only).
+func runTrial(tb *topo.Testbed, pair topo.LinkPair, protocol string, d sim.Time, seed uint64, detail bool, traceN int) trialResult {
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(seed)
+	m := tb.Build(sched, rng.Stream(1))
+	warm := d * 2 / 5
+	meters := [2]*stats.Meter{
+		{Start: warm, End: d},
+		{Start: warm, End: d},
+	}
+	flows := [2]topo.Link{pair.A, pair.B}
+	var tracer *trace.Tracer
+	if detail && traceN > 0 {
+		tracer = trace.New(traceN)
+	}
+
+	switch protocol {
+	case "cmap", "cmap1":
+		cfg := core.DefaultConfig()
+		if protocol == "cmap1" {
+			cfg.Nwindow = 1
+		}
+		var senders [2]*core.Node
+		for i, f := range flows {
+			senders[i] = core.New(f.Src, cfg, m, rng.Stream(uint64(100+i)))
+			rx := core.New(f.Dst, cfg, m, rng.Stream(uint64(200+i)))
+			rx.Meter = meters[i]
+			if tracer != nil && i == 0 {
+				m.Radio(f.Src).SetHandler(tracer.Wrap(f.Src, senders[i], sched))
+				m.Radio(f.Dst).SetHandler(tracer.Wrap(f.Dst, rx, sched))
+			}
+			senders[i].SetSaturated(f.Dst)
+		}
+		sched.Run(d)
+		if detail {
+			for i, f := range flows {
+				st := senders[i].Stats()
+				fmt.Printf("flow %d→%d: %.2f Mb/s  vpkts=%d defers=%d backoffs=%d acks=%d ackMiss=%d retxTO=%d deferTab=%d\n",
+					f.Src, f.Dst, meters[i].Mbps(), st.VpktsSent, st.Defers, st.Backoffs,
+					st.AcksReceived, st.AckWaitExpired, st.RetxTimeouts, senders[i].DeferTableSize())
+			}
+		}
+	case "dcf", "dcf-nocs", "dcf-nocs-noack":
+		cfg := csma.DefaultConfig()
+		cfg.CarrierSense = protocol == "dcf"
+		cfg.LinkACKs = protocol != "dcf-nocs-noack"
+		var senders [2]*csma.Node
+		for i, f := range flows {
+			senders[i] = csma.New(f.Src, cfg, m, rng.Stream(uint64(100+i)))
+			rx := csma.New(f.Dst, cfg, m, rng.Stream(uint64(200+i)))
+			rx.Meter = meters[i]
+			senders[i].SetSaturated(f.Dst)
+		}
+		sched.Run(d)
+		if detail {
+			for i, f := range flows {
+				st := senders[i].Stats()
+				fmt.Printf("flow %d→%d: %.2f Mb/s  sent=%d ackTO=%d dropped=%d\n",
+					f.Src, f.Dst, meters[i].Mbps(), st.Sent, st.AckTimeout, st.Dropped)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("unvalidated protocol %q", protocol))
+	}
+	res := trialResult{flows: [2]float64{meters[0].Mbps(), meters[1].Mbps()}}
+	res.agg = res.flows[0] + res.flows[1]
+	if tracer != nil {
+		fmt.Printf("\nlast %d link-layer events of flow 0's endpoints:\n%s", tracer.Len(), tracer.Dump())
+	}
+	return res
+}
 
 func main() {
 	seed := flag.Uint64("seed", 1, "master seed")
@@ -27,8 +113,17 @@ func main() {
 	protocol := flag.String("protocol", "cmap", "cmap | cmap1 | dcf | dcf-nocs | dcf-nocs-noack")
 	duration := flag.Duration("duration", 30*time.Second, "virtual run time")
 	index := flag.Int("index", 0, "which sampled topology to run")
-	traceN := flag.Int("trace", 0, "print the last N link-layer events of the first flow's endpoints")
+	traceN := flag.Int("trace", 0, "print the last N link-layer events of the first flow's endpoints (single trial only)")
+	trials := flag.Int("trials", 1, "independent replications of the scenario")
+	parallel := flag.Int("parallel", 0, "worker goroutines for -trials (0 = all CPUs, 1 = serial)")
 	flag.Parse()
+
+	switch *protocol {
+	case "cmap", "cmap1", "dcf", "dcf-nocs", "dcf-nocs-noack":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
 
 	tb := topo.NewTestbed(50, *seed)
 	rng := sim.NewRNG(*seed * 31)
@@ -56,68 +151,29 @@ func main() {
 		tb.RSS[pair.B.Src][pair.B.Dst], tb.PRR[pair.B.Src][pair.B.Dst],
 		tb.RSS[pair.B.Src][pair.A.Src])
 
-	sched := sim.NewScheduler()
-	m := tb.Build(sched, rng.Stream(1))
 	d := sim.Duration(*duration)
-	warm := d * 2 / 5
-	meters := [2]*stats.Meter{
-		{Start: warm, End: d},
-		{Start: warm, End: d},
-	}
-	flows := [2]topo.Link{pair.A, pair.B}
-	var tracer *trace.Tracer
-	if *traceN > 0 {
-		tracer = trace.New(*traceN)
+	if *trials <= 1 {
+		// The original single-run microscope: channel randomness comes
+		// from the same master-seed stream as the topology sampling.
+		res := runTrial(tb, pair, *protocol, d, rng.Uint64(), true, *traceN)
+		fmt.Printf("aggregate: %.2f Mb/s\n", res.agg)
+		return
 	}
 
-	switch *protocol {
-	case "cmap", "cmap1":
-		cfg := core.DefaultConfig()
-		if *protocol == "cmap1" {
-			cfg.Nwindow = 1
-		}
-		var senders [2]*core.Node
-		for i, f := range flows {
-			senders[i] = core.New(f.Src, cfg, m, rng.Stream(uint64(100+i)))
-			rx := core.New(f.Dst, cfg, m, rng.Stream(uint64(200+i)))
-			rx.Meter = meters[i]
-			if tracer != nil && i == 0 {
-				m.Radio(f.Src).SetHandler(tracer.Wrap(f.Src, senders[i], sched))
-				m.Radio(f.Dst).SetHandler(tracer.Wrap(f.Dst, rx, sched))
-			}
-			senders[i].SetSaturated(f.Dst)
-		}
-		sched.Run(d)
-		for i, f := range flows {
-			st := senders[i].Stats()
-			fmt.Printf("flow %d→%d: %.2f Mb/s  vpkts=%d defers=%d backoffs=%d acks=%d ackMiss=%d retxTO=%d deferTab=%d\n",
-				f.Src, f.Dst, meters[i].Mbps(), st.VpktsSent, st.Defers, st.Backoffs,
-				st.AcksReceived, st.AckWaitExpired, st.RetxTimeouts, senders[i].DeferTableSize())
-		}
-	case "dcf", "dcf-nocs", "dcf-nocs-noack":
-		cfg := csma.DefaultConfig()
-		cfg.CarrierSense = *protocol == "dcf"
-		cfg.LinkACKs = *protocol != "dcf-nocs-noack"
-		var senders [2]*csma.Node
-		for i, f := range flows {
-			senders[i] = csma.New(f.Src, cfg, m, rng.Stream(uint64(100+i)))
-			rx := csma.New(f.Dst, cfg, m, rng.Stream(uint64(200+i)))
-			rx.Meter = meters[i]
-			senders[i].SetSaturated(f.Dst)
-		}
-		sched.Run(d)
-		for i, f := range flows {
-			st := senders[i].Stats()
-			fmt.Printf("flow %d→%d: %.2f Mb/s  sent=%d ackTO=%d dropped=%d\n",
-				f.Src, f.Dst, meters[i].Mbps(), st.Sent, st.AckTimeout, st.Dropped)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocol)
-		os.Exit(2)
+	// Replications: each trial's seed is a pure function of the master
+	// seed and the trial index, so any -parallel value reproduces the
+	// same numbers in the same order.
+	results := runner.Map(runner.Config{Workers: *parallel}, *trials, func(i int) trialResult {
+		return runTrial(tb, pair, *protocol, d, *seed+uint64(i)*0x9e37+1, false, 0)
+	})
+	var agg, a, b stats.Dist
+	for i, r := range results {
+		fmt.Printf("trial %2d: flow1 %.2f  flow2 %.2f  aggregate %.2f Mb/s\n", i, r.flows[0], r.flows[1], r.agg)
+		a.Add(r.flows[0])
+		b.Add(r.flows[1])
+		agg.Add(r.agg)
 	}
-	total := meters[0].Mbps() + meters[1].Mbps()
-	fmt.Printf("aggregate: %.2f Mb/s\n", total)
-	if tracer != nil {
-		fmt.Printf("\nlast %d link-layer events of flow 0's endpoints:\n%s", tracer.Len(), tracer.Dump())
-	}
+	fmt.Printf("aggregate over %d trials: mean %.2f  median %.2f  std %.2f  min %.2f  max %.2f Mb/s\n",
+		*trials, agg.Mean(), agg.Median(), agg.Std(), agg.Min(), agg.Max())
+	fmt.Printf("flow1 mean %.2f Mb/s  flow2 mean %.2f Mb/s\n", a.Mean(), b.Mean())
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csma"
 	"repro/internal/phy"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
@@ -73,6 +74,19 @@ type Options struct {
 	Meshes int
 	// Rate is the common data bit-rate.
 	Rate phy.RateID
+	// Workers is the number of goroutines trials fan out across. Zero
+	// selects GOMAXPROCS; one forces fully serial execution. Results are
+	// bit-identical at every worker count: all randomness is derived
+	// from per-trial seeds fixed before dispatch.
+	Workers int
+	// Progress, when non-nil, is called after each completed trial of
+	// an experiment with (done, total) counts.
+	Progress func(done, total int)
+}
+
+// pool returns the runner configuration these options describe.
+func (o Options) pool() runner.Config {
+	return runner.Config{Workers: o.Workers, OnProgress: o.Progress}
 }
 
 // Defaults returns the paper-exact scale: 100-second runs measured over
@@ -233,7 +247,11 @@ type PairExperiment struct {
 	Flows map[Protocol][][]FlowResult
 }
 
-// runPairExperiment measures every pair under every arm.
+// runPairExperiment measures every pair under every arm. The (pair, arm)
+// trials are independent — each builds its own medium and derives all
+// randomness from a seed fixed here — so they fan out across the worker
+// pool; results fold back in the serial iteration order, keeping the
+// output identical at every worker count.
 func runPairExperiment(name string, tb *topo.Testbed, pairs []topo.LinkPair, arms []Protocol, opt Options) *PairExperiment {
 	ex := &PairExperiment{
 		Name:  name,
@@ -244,10 +262,14 @@ func runPairExperiment(name string, tb *topo.Testbed, pairs []topo.LinkPair, arm
 	for _, arm := range arms {
 		ex.Dists[arm] = &stats.Dist{}
 	}
-	for i, pair := range pairs {
-		flows := []topo.Link{pair.A, pair.B}
-		for _, arm := range arms {
-			rs := runFlows(tb, flows, arm, opt, opt.Seed+uint64(i)*7919+uint64(arm)*104729)
+	trials := runner.Map(opt.pool(), len(pairs)*len(arms), func(t int) []FlowResult {
+		i, arm := t/len(arms), arms[t%len(arms)]
+		flows := []topo.Link{pairs[i].A, pairs[i].B}
+		return runFlows(tb, flows, arm, opt, opt.Seed+uint64(i)*7919+uint64(arm)*104729)
+	})
+	for i := range pairs {
+		for j, arm := range arms {
+			rs := trials[i*len(arms)+j]
 			ex.Dists[arm].Add(aggregate(rs))
 			ex.Flows[arm] = append(ex.Flows[arm], rs)
 		}

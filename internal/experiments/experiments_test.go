@@ -8,7 +8,10 @@ import (
 )
 
 // testOptions is Quick further trimmed so the full experiment suite stays
-// test-sized; shapes, not absolute numbers, are asserted.
+// test-sized; shapes, not absolute numbers, are asserted. Under -short the
+// scale drops again — enough virtual time and topologies for every
+// assertion to hold, sized so the whole package finishes in well under a
+// minute — while the default mode keeps the full-fidelity scale.
 func testOptions(seed uint64) Options {
 	opt := Quick(seed)
 	opt.Duration = 10 * sim.Second
@@ -17,6 +20,14 @@ func testOptions(seed uint64) Options {
 	opt.Triples = 30
 	opt.APRuns = 2
 	opt.Meshes = 6
+	if testing.Short() {
+		opt.Duration = 6 * sim.Second
+		opt.Warmup = 3 * sim.Second
+		opt.Pairs = 6
+		opt.Triples = 16
+		opt.APRuns = 2
+		opt.Meshes = 4
+	}
 	return opt
 }
 
@@ -163,7 +174,9 @@ func TestFigure16HeaderTrailer(t *testing.T) {
 func TestFigure17And18AccessPoints(t *testing.T) {
 	t.Parallel()
 	opt := testOptions(1)
-	opt.APRuns = 3
+	if !testing.Short() {
+		opt.APRuns = 3
+	}
 	res := AccessPoint(testbed(t, 1), opt)
 	if len(res.Ns) == 0 {
 		t.Fatal("no AP counts measured")
@@ -226,6 +239,9 @@ func TestFigure20VariableBitRates(t *testing.T) {
 	t.Parallel()
 	opt := testOptions(1)
 	opt.Pairs = 6
+	if testing.Short() {
+		opt.Pairs = 4
+	}
 	series := VariableBitRates(testbed(t, 1), opt)
 	if len(series) != 3 {
 		t.Fatalf("got %d rate series, want 3", len(series))

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csma"
 	"repro/internal/phy"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
@@ -97,14 +98,18 @@ type HiddenInterfererResult struct {
 }
 
 // HiddenInterferers runs the §5.4 measurement: for each (S, R, I) triple,
-// S→R throughput alone and with I saturating, CS and ACKs disabled.
+// S→R throughput alone and with I saturating, CS and ACKs disabled. The
+// per-triple measurements are independent and fan out across the worker
+// pool; aggregation folds over them in triple order.
 func HiddenInterferers(tb *topo.Testbed, opt Options) *HiddenInterfererResult {
 	rng := sim.NewRNG(opt.Seed ^ 0xf14)
 	triples := tb.HiddenInterfererTriples(rng, opt.Triples)
-	res := &HiddenInterfererResult{}
-	var sumExpected float64
-	hidden := 0
-	for i, tr := range triples {
+	type measurement struct {
+		ok    bool
+		point InterfererPoint
+	}
+	measured := runner.Map(opt.pool(), len(triples), func(i int) measurement {
+		tr := triples[i]
 		seed := opt.Seed + uint64(i)*6551
 		alone := runFlows(tb, []topo.Link{{Src: tr.Src, Dst: tr.Dst}}, CSMAOffNoAcks, opt, seed)
 		// The interferer saturates towards a sink that is neither S nor R
@@ -118,15 +123,25 @@ func HiddenInterferers(tb *topo.Testbed, opt Options) *HiddenInterfererResult {
 			{Src: tr.Interferer, Dst: sink},
 		}, CSMAOffNoAcks, opt, seed+1)
 		if alone[0].Mbps <= 0 {
-			continue
+			return measurement{}
 		}
 		norm := both[0].Mbps / alone[0].Mbps
 		if norm > 1 {
 			norm = 1
 		}
 		minPRR := math.Min(tb.PRR[tr.Interferer][tr.Dst], tb.PRR[tr.Interferer][tr.Src])
-		res.Points = append(res.Points, InterfererPoint{Triple: tr, MinPRR: minPRR, NormThroughput: norm})
-		if norm < 0.5 && minPRR < 0.5 {
+		return measurement{ok: true, point: InterfererPoint{Triple: tr, MinPRR: minPRR, NormThroughput: norm}}
+	})
+	res := &HiddenInterfererResult{}
+	var sumExpected float64
+	hidden := 0
+	for _, m := range measured {
+		if !m.ok {
+			continue
+		}
+		tr, norm := m.point.Triple, m.point.NormThroughput
+		res.Points = append(res.Points, m.point)
+		if norm < 0.5 && m.point.MinPRR < 0.5 {
 			hidden++
 		}
 		pr := tb.PRR[tr.Interferer][tr.Dst]
@@ -205,13 +220,18 @@ func AccessPoint(tb *topo.Testbed, opt Options) *APResult {
 	}
 	cells := tb.APRegions()
 	rng := sim.NewRNG(opt.Seed ^ 0xf17)
+	// Draw every run's client/direction choices serially first — the rng
+	// consumption order is part of the experiment's definition — then fan
+	// the (n, run, arm) simulations out across the worker pool.
+	type apTrial struct {
+		n, run int
+		arm    Protocol
+		flows  []topo.Link
+	}
+	var trials []apTrial
 	for _, n := range res.Ns {
 		if n > len(cells) {
 			continue
-		}
-		aggs := map[Protocol]*stats.Dist{}
-		for _, a := range arms {
-			aggs[a] = &stats.Dist{}
 		}
 		for run := 0; run < opt.APRuns; run++ {
 			// Adjacent regions when fewer than all cells are used.
@@ -225,16 +245,32 @@ func AccessPoint(tb *topo.Testbed, opt Options) *APResult {
 				}
 			}
 			for _, arm := range arms {
-				rs := runFlows(tb, flows, arm, opt, opt.Seed+uint64(n*1000+run)*31+uint64(arm))
-				aggs[arm].Add(aggregate(rs))
-				for _, fr := range rs {
-					res.PerSender[arm].Add(fr.Mbps)
-				}
+				trials = append(trials, apTrial{n: n, run: run, arm: arm, flows: flows})
 			}
 		}
+	}
+	outcomes := runner.Map(opt.pool(), len(trials), func(i int) []FlowResult {
+		t := trials[i]
+		return runFlows(tb, t.flows, t.arm, opt, opt.Seed+uint64(t.n*1000+t.run)*31+uint64(t.arm))
+	})
+	aggs := map[int]map[Protocol]*stats.Dist{}
+	for i, t := range trials {
+		if aggs[t.n] == nil {
+			aggs[t.n] = map[Protocol]*stats.Dist{}
+			for _, a := range arms {
+				aggs[t.n][a] = &stats.Dist{}
+			}
+		}
+		rs := outcomes[i]
+		aggs[t.n][t.arm].Add(aggregate(rs))
+		for _, fr := range rs {
+			res.PerSender[t.arm].Add(fr.Mbps)
+		}
+	}
+	for n, perArm := range aggs {
 		for _, arm := range arms {
-			res.Mean[arm][n] = aggs[arm].Mean()
-			res.Std[arm][n] = aggs[arm].Std()
+			res.Mean[arm][n] = perArm[arm].Mean()
+			res.Std[arm][n] = perArm[arm].Std()
 		}
 	}
 	return res
@@ -283,20 +319,42 @@ type SenderSweepPoint struct {
 func HeaderTrailerVsSenders(tb *topo.Testbed, opt Options) []SenderSweepPoint {
 	rng := sim.NewRNG(opt.Seed ^ 0xf19)
 	links := allPotentialLinks(tb)
-	var out []SenderSweepPoint
+	// Sample every sweep position's flow sets serially (rng order is part
+	// of the experiment), then run all (k, run) simulations on the pool.
+	type sweepTrial struct {
+		k     int
+		seed  uint64
+		flows []topo.Link
+	}
+	var trials []sweepTrial
 	for k := 2; k <= 7; k++ {
-		d := &stats.Dist{}
 		for run := 0; run < opt.APRuns; run++ {
 			flows := pickDisjointFlows(rng, links, k)
 			if len(flows) < k {
 				continue
 			}
-			rs := runFlows(tb, flows, CMAP, opt, opt.Seed+uint64(k*100+run)*131)
-			for _, fr := range rs {
-				if fr.VpktsSent > 0 {
-					d.Add(fr.HdrOrTrailFrac())
-				}
+			trials = append(trials, sweepTrial{k: k, seed: opt.Seed + uint64(k*100+run)*131, flows: flows})
+		}
+	}
+	outcomes := runner.Map(opt.pool(), len(trials), func(i int) []FlowResult {
+		return runFlows(tb, trials[i].flows, CMAP, opt, trials[i].seed)
+	})
+	dists := map[int]*stats.Dist{}
+	for i, t := range trials {
+		if dists[t.k] == nil {
+			dists[t.k] = &stats.Dist{}
+		}
+		for _, fr := range outcomes[i] {
+			if fr.VpktsSent > 0 {
+				dists[t.k].Add(fr.HdrOrTrailFrac())
 			}
+		}
+	}
+	var out []SenderSweepPoint
+	for k := 2; k <= 7; k++ {
+		d := dists[k]
+		if d == nil {
+			d = &stats.Dist{}
 		}
 		out = append(out, SenderSweepPoint{
 			Senders: k, Mean: d.Mean(), Median: d.Median(),
@@ -384,10 +442,18 @@ func Mesh(tb *topo.Testbed, opt Options) *MeshResult {
 	rng := sim.NewRNG(opt.Seed ^ 0xf57)
 	meshes := tb.MeshTopologies(rng, opt.Meshes, 3)
 	res := &MeshResult{CMAP: &stats.Dist{}, CSMA: &stats.Dist{}}
-	for i, msh := range meshes {
-		seed := opt.Seed + uint64(i)*2221
-		res.CMAP.Add(runMeshCMAP(tb, msh, opt, seed))
-		res.CSMA.Add(runMeshCSMA(tb, msh, opt, seed+1))
+	// Trials interleave (mesh, protocol): even indices CMAP, odd CSMA.
+	scores := runner.Map(opt.pool(), 2*len(meshes), func(t int) float64 {
+		msh := meshes[t/2]
+		seed := opt.Seed + uint64(t/2)*2221
+		if t%2 == 0 {
+			return runMeshCMAP(tb, msh, opt, seed)
+		}
+		return runMeshCSMA(tb, msh, opt, seed+1)
+	})
+	for i := range meshes {
+		res.CMAP.Add(scores[2*i])
+		res.CSMA.Add(scores[2*i+1])
 	}
 	return res
 }

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// benchParallelTestbed is shared: the testbed is immutable once built.
+var benchParallelTestbed = topo.NewTestbed(50, 1)
+
+// benchParallelOptions is one iteration's workload: Pairs × 4 arms trials
+// of the exposed-terminal experiment.
+func benchParallelOptions(seed uint64, workers int) Options {
+	opt := Quick(seed)
+	opt.Duration = 4 * sim.Second
+	opt.Warmup = 2 * sim.Second
+	opt.Pairs = 8
+	opt.Workers = workers
+	return opt
+}
+
+// benchPairTrials measures trial throughput of the pair-experiment runner
+// at a fixed worker count; the speedup between the two benchmarks below
+// is the headline number of the parallel runner subsystem.
+func benchPairTrials(b *testing.B, workers int) {
+	b.ReportAllocs()
+	var trials int
+	for i := 0; i < b.N; i++ {
+		opt := benchParallelOptions(uint64(i+1), workers)
+		ex := ExposedTerminals(benchParallelTestbed, opt)
+		for _, arm := range ex.Arms {
+			trials += ex.Dists[arm].N()
+		}
+	}
+	b.ReportMetric(float64(trials)/b.Elapsed().Seconds(), "trials/s")
+}
+
+// BenchmarkPairTrialsSerial is the 1-worker baseline.
+func BenchmarkPairTrialsSerial(b *testing.B) { benchPairTrials(b, 1) }
+
+// BenchmarkPairTrialsParallel fans trials across GOMAXPROCS workers.
+func BenchmarkPairTrialsParallel(b *testing.B) {
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	benchPairTrials(b, 0)
+}
+
+// BenchmarkMeshTrialsParallel covers the other trial shape (whole-mesh
+// phase-controlled runs) at GOMAXPROCS workers.
+func BenchmarkMeshTrialsParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchParallelOptions(uint64(i+1), 0)
+		opt.Meshes = 4
+		res := Mesh(benchParallelTestbed, opt)
+		if res.CMAP.N() == 0 {
+			b.Fatal("no meshes ran")
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package runner executes independent simulation trials across a pool of
+// worker goroutines with results collected in submission order.
+//
+// The experiments of the paper's evaluation decompose into (topology ×
+// protocol-arm × trial) units that share nothing but an immutable
+// testbed: each unit builds its own scheduler, medium and RNG streams
+// from a seed derived before any work is dispatched. That makes the
+// workload embarrassingly parallel without giving up determinism — the
+// trial function receives only its index, every seed is a pure function
+// of that index, and results land in a slice slot owned by the index. A
+// run therefore produces bit-identical output at any worker count,
+// including 1 (which runs inline on the calling goroutine, with no
+// goroutines spawned at all).
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Config scales a pool. The zero value is valid: one worker per
+// available CPU and no progress reporting.
+type Config struct {
+	// Workers is the number of concurrent trial goroutines. Zero or
+	// negative selects GOMAXPROCS. One runs every trial inline on the
+	// calling goroutine.
+	Workers int
+	// OnProgress, when non-nil, is called after every completed trial
+	// with the number done so far and the total. Calls are serialised
+	// but — above one worker — not ordered by trial index.
+	OnProgress func(done, total int)
+}
+
+// EffectiveWorkers resolves the pool width this configuration selects:
+// Workers, defaulted to GOMAXPROCS when non-positive. Map additionally
+// clamps it to the trial count.
+func (c Config) EffectiveWorkers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+// Map runs fn(i) for every i in [0, n) across the pool and returns the
+// results indexed by i. The output is identical for every worker count:
+// fn must derive all randomness from i (and state captured before Map is
+// called), never from shared mutable state. A panic in any trial is
+// re-raised on the calling goroutine after the pool drains.
+func Map[T any](cfg Config, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	results := make([]T, n)
+	w := cfg.EffectiveWorkers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			results[i] = fn(i)
+			if cfg.OnProgress != nil {
+				cfg.OnProgress(i+1, n)
+			}
+		}
+		return results
+	}
+
+	var (
+		next     atomic.Int64
+		done     atomic.Int64
+		mu       sync.Mutex // serialises OnProgress
+		panicked atomic.Pointer[trialPanic]
+		wg       sync.WaitGroup
+	)
+	work := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= n || panicked.Load() != nil {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panicked.CompareAndSwap(nil, &trialPanic{value: r})
+					}
+				}()
+				results[i] = fn(i)
+			}()
+			if cfg.OnProgress != nil {
+				mu.Lock()
+				cfg.OnProgress(int(done.Add(1)), n)
+				mu.Unlock()
+			} else {
+				done.Add(1)
+			}
+		}
+	}
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go work()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		// Re-raise the original value so recover() sees the same thing at
+		// every worker count (the 1-worker path propagates it untouched).
+		panic(p.value)
+	}
+	return results
+}
+
+// trialPanic records the first trial panic so Map can re-raise it.
+type trialPanic struct {
+	value any
+}
+
+// Do runs fn(i) for every i in [0, n) for side effects only.
+func Do(cfg Config, n int, fn func(i int)) {
+	Map(cfg, n, func(i int) struct{} {
+		fn(i)
+		return struct{}{}
+	})
+}
