@@ -6,10 +6,13 @@
 #   make race       race-detector pass over the concurrent packages
 #   make bench      benchmark trajectory, one iteration per benchmark
 #   make check      build + test, the tier-1 gate
+#   make vet        static analysis
+#   make golden     golden-trace regression tier (bit-exact behaviour pin)
+#   make ci         the full gate: vet + race short tier + golden tier
 
 GO ?= go
 
-.PHONY: build test test-full race bench check
+.PHONY: build test test-full race bench check vet golden ci
 
 build:
 	$(GO) build ./...
@@ -27,3 +30,13 @@ bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
 
 check: build test
+
+vet:
+	$(GO) vet ./...
+
+golden:
+	$(GO) test -run 'TestGolden|TestSparseDense' ./internal/experiments
+
+ci: build vet
+	$(GO) test -race -short ./...
+	$(MAKE) golden

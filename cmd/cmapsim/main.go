@@ -5,11 +5,17 @@
 // Usage:
 //
 //	cmapsim [-seed N] [-topology exposed|inrange|hidden] [-protocol cmap|cmap1|dcf|dcf-nocs|dcf-nocs-noack] [-duration 30s] [-index 0] [-trials 1] [-parallel 0]
+//	cmapsim -scenario gridcity|clusters|disk [-nodes 200] ...
 //
 // With -trials above one, the same topology is replayed under
 // independently seeded channel/protocol randomness and the per-trial
 // aggregates are summarised; trials fan out across -parallel worker
 // goroutines (default all CPUs) with bit-identical results at any count.
+//
+// -scenario swaps the paper's office floor for one of the large-scale
+// generated layouts (sized by -nodes) and picks the experiment pair with
+// the same link-selection methodology on top of it; the underlying
+// medium is the sparse, grid-constructed one either way.
 package main
 
 import (
@@ -107,6 +113,50 @@ func runTrial(tb *topo.Testbed, pair topo.LinkPair, protocol string, d sim.Time,
 	return res
 }
 
+// buildTestbed realises the chosen layout and, for the generated
+// scenarios, runs the link-measurement pass over it so the Figure 11
+// topology pickers work on top. The pass is O(n²) — cmapsim sizes are
+// CLI-scale, not the 1000-node benchmark regime.
+func buildTestbed(scenario string, nodes int, seed uint64) (*topo.Testbed, error) {
+	switch scenario {
+	case "testbed":
+		if nodes <= 0 {
+			nodes = 50
+		}
+		return topo.NewTestbed(nodes, seed), nil
+	case "gridcity":
+		// Blocks of 300 m keep same-block links inside the strong-signal
+		// range of the urban model, so potential transmission links exist.
+		const perBlock = 6
+		if nodes <= 0 {
+			nodes = 216
+		}
+		side := 1
+		for side*side*perBlock < nodes {
+			side++
+		}
+		return topo.GridCity(side, side, perBlock, 300, seed).Testbed(), nil
+	case "clusters":
+		// Tight hotspot cells a block apart: in-cell links are strong,
+		// neighbouring cells interact only through carrier sense.
+		const clients = 10
+		if nodes <= 0 {
+			nodes = 132
+		}
+		cells := (nodes + clients) / (clients + 1)
+		if cells < 1 {
+			cells = 1
+		}
+		return topo.ClusteredAPs(cells, clients, 400, 12, seed).Testbed(), nil
+	case "disk":
+		if nodes <= 0 {
+			nodes = 200
+		}
+		return topo.UniformDisk(nodes, 200, seed).Testbed(), nil
+	}
+	return nil, fmt.Errorf("unknown scenario %q", scenario)
+}
+
 func main() {
 	seed := flag.Uint64("seed", 1, "master seed")
 	topology := flag.String("topology", "exposed", "exposed | inrange | hidden")
@@ -116,6 +166,8 @@ func main() {
 	traceN := flag.Int("trace", 0, "print the last N link-layer events of the first flow's endpoints (single trial only)")
 	trials := flag.Int("trials", 1, "independent replications of the scenario")
 	parallel := flag.Int("parallel", 0, "worker goroutines for -trials (0 = all CPUs, 1 = serial)")
+	scenario := flag.String("scenario", "testbed", "testbed | gridcity | clusters | disk")
+	nodes := flag.Int("nodes", 0, "scenario size (0 = scenario default; testbed default 50)")
 	flag.Parse()
 
 	switch *protocol {
@@ -125,7 +177,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	tb := topo.NewTestbed(50, *seed)
+	tb, err := buildTestbed(*scenario, *nodes, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	rng := sim.NewRNG(*seed * 31)
 	var pairs []topo.LinkPair
 	switch *topology {

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// The golden-trace tier pins down the exact simulation behaviour of
+// every protocol arm on a handful of fixed topologies. Any refactor
+// that silently changes event ordering, RNG consumption, or float
+// arithmetic anywhere in the stack shows up as a bit-level diff here.
+// Goodput is compared through its IEEE-754 bit pattern — "close" is a
+// failure; behaviour must be identical or the change must be owned by
+// regenerating the files with:
+//
+//	go test ./internal/experiments -run TestGoldenTraces -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace files")
+
+// goldenSeeds are the pinned topology/protocol seeds. Three seeds cover
+// different testbed realisations without making the tier slow.
+var goldenSeeds = []uint64{1, 2, 7}
+
+// goldenArms is every protocol arm of §5.
+var goldenArms = []Protocol{CSMAOn, CSMAOnNoAcks, CSMAOffAcks, CSMAOffNoAcks, CMAP, CMAPWin1}
+
+type goldenFlow struct {
+	Src             int    `json:"src"`
+	Dst             int    `json:"dst"`
+	MbpsBits        string `json:"mbps_bits"` // hex IEEE-754 bits, compared exactly
+	Mbps            string `json:"mbps"`      // human-readable rendering of the same value
+	VpktsSent       uint64 `json:"vpkts_sent"`
+	VpktsHeader     uint64 `json:"vpkts_header"`
+	VpktsHdrOrTrail uint64 `json:"vpkts_hdr_or_trail"`
+}
+
+type goldenRun struct {
+	Topology string       `json:"topology"`
+	Arm      string       `json:"arm"`
+	Flows    []goldenFlow `json:"flows"`
+}
+
+type goldenFile struct {
+	Seed       uint64      `json:"seed"`
+	Nodes      int         `json:"nodes"`
+	DurationNs int64       `json:"duration_ns"`
+	WarmupNs   int64       `json:"warmup_ns"`
+	Runs       []goldenRun `json:"runs"`
+}
+
+// goldenOptions is a fixed scale, independent of -short: golden values
+// must not depend on how the tier is invoked.
+func goldenOptions(seed uint64) Options {
+	return Options{
+		Seed:     seed,
+		Nodes:    50,
+		Duration: 3 * sim.Second,
+		Warmup:   1500 * sim.Millisecond,
+		Rate:     phy.Rate6Mbps,
+	}
+}
+
+// goldenTopologies samples one fixed topology per Figure 11 class.
+func goldenTopologies(tb *topo.Testbed, seed uint64) []struct {
+	name  string
+	flows []topo.Link
+} {
+	var out []struct {
+		name  string
+		flows []topo.Link
+	}
+	add := func(name string, pairs []topo.LinkPair) {
+		if len(pairs) == 0 {
+			return
+		}
+		out = append(out, struct {
+			name  string
+			flows []topo.Link
+		}{name, []topo.Link{pairs[0].A, pairs[0].B}})
+	}
+	add("exposed", tb.ExposedPairs(sim.NewRNG(seed^0x901d), 1))
+	add("inrange", tb.InRangePairs(sim.NewRNG(seed^0x901e), 1))
+	add("hidden", tb.HiddenPairs(sim.NewRNG(seed^0x901f), 1))
+	return out
+}
+
+func captureGolden(seed uint64) goldenFile {
+	opt := goldenOptions(seed)
+	tb := topo.NewTestbed(opt.Nodes, seed)
+	gf := goldenFile{
+		Seed:       seed,
+		Nodes:      opt.Nodes,
+		DurationNs: int64(opt.Duration),
+		WarmupNs:   int64(opt.Warmup),
+	}
+	for ti, tp := range goldenTopologies(tb, seed) {
+		for _, arm := range goldenArms {
+			runSeed := seed + uint64(ti)*7919 + uint64(arm)*104729
+			rs := runFlows(tb, tp.flows, arm, opt, runSeed)
+			run := goldenRun{Topology: tp.name, Arm: arm.String()}
+			for _, fr := range rs {
+				run.Flows = append(run.Flows, goldenFlow{
+					Src:             fr.Link.Src,
+					Dst:             fr.Link.Dst,
+					MbpsBits:        fmt.Sprintf("%016x", math.Float64bits(fr.Mbps)),
+					Mbps:            strconv.FormatFloat(fr.Mbps, 'g', -1, 64),
+					VpktsSent:       fr.VpktsSent,
+					VpktsHeader:     fr.VpktsHeader,
+					VpktsHdrOrTrail: fr.VpktsHdrOrTrail,
+				})
+			}
+			gf.Runs = append(gf.Runs, run)
+		}
+	}
+	return gf
+}
+
+func goldenPath(seed uint64) string {
+	return filepath.Join("testdata", fmt.Sprintf("golden_seed%d.json", seed))
+}
+
+func TestGoldenTraces(t *testing.T) {
+	if testing.Short() {
+		// The golden tier has its own gate (`make golden`); keeping it out
+		// of -short avoids paying for the 54 runs twice per CI pass (once
+		// race-instrumented, once plain).
+		t.Skip("golden tier runs via make golden, not the -short tier")
+	}
+	for _, seed := range goldenSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			got := captureGolden(seed)
+			path := goldenPath(seed)
+			if *updateGolden {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d runs)", path, len(got.Runs))
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no golden trace for seed %d (%v); run with -update to create it", seed, err)
+			}
+			var want goldenFile
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("corrupt golden file %s: %v", path, err)
+			}
+			if len(got.Runs) != len(want.Runs) {
+				t.Fatalf("captured %d runs, golden file has %d — topology availability drifted; "+
+					"inspect and regenerate with -update", len(got.Runs), len(want.Runs))
+			}
+			for i := range want.Runs {
+				w, g := want.Runs[i], got.Runs[i]
+				if !reflect.DeepEqual(w, g) {
+					t.Errorf("run %d (%s/%s) drifted from the golden trace:\n  want %+v\n  got  %+v\n"+
+						"simulation behaviour changed; if intentional, regenerate with -update",
+						i, w.Topology, w.Arm, w, g)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenBitsMatchHumanRendering guards the file format itself: the
+// hex bits and the readable number must describe the same float, so a
+// hand-edited golden file cannot drift into self-inconsistency.
+func TestGoldenBitsMatchHumanRendering(t *testing.T) {
+	for _, seed := range goldenSeeds {
+		data, err := os.ReadFile(goldenPath(seed))
+		if err != nil {
+			t.Skipf("golden files not generated yet: %v", err)
+		}
+		var gf goldenFile
+		if err := json.Unmarshal(data, &gf); err != nil {
+			t.Fatal(err)
+		}
+		for _, run := range gf.Runs {
+			for _, fl := range run.Flows {
+				bits, err := strconv.ParseUint(fl.MbpsBits, 16, 64)
+				if err != nil {
+					t.Fatalf("seed %d %s/%s: bad bits %q", seed, run.Topology, run.Arm, fl.MbpsBits)
+				}
+				human, err := strconv.ParseFloat(fl.Mbps, 64)
+				if err != nil {
+					t.Fatalf("seed %d %s/%s: bad mbps %q", seed, run.Topology, run.Arm, fl.Mbps)
+				}
+				if math.Float64frombits(bits) != human {
+					t.Fatalf("seed %d %s/%s flow %d→%d: bits %q ≠ rendering %q",
+						seed, run.Topology, run.Arm, fl.Src, fl.Dst, fl.MbpsBits, fl.Mbps)
+				}
+			}
+		}
+	}
+}

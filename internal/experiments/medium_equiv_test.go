@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// TestSparseDenseFlowEquivalence is the tentpole's acceptance proof: a
+// full protocol run over the grid-constructed sparse medium produces
+// bit-identical FlowResults to the reference O(n²) dense construction on
+// the seed testbed — goodput down to the last IEEE-754 bit, visibility
+// counters down to the last packet. The sparse medium therefore changes
+// no paper figure; it only changes the asymptotics.
+func TestSparseDenseFlowEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence proof runs via make golden, not the -short tier")
+	}
+	t.Parallel()
+	opt := Options{
+		Seed:     3,
+		Nodes:    50,
+		Duration: 2 * sim.Second,
+		Warmup:   1 * sim.Second,
+		Rate:     phy.Rate6Mbps,
+	}
+	sparse := topo.NewTestbed(opt.Nodes, 3)
+	dense := *sparse
+	dense.DenseMedium = true
+
+	type scenario struct {
+		name  string
+		flows []topo.Link
+	}
+	var scenarios []scenario
+	if pairs := sparse.ExposedPairs(sim.NewRNG(41), 2); len(pairs) > 0 {
+		for _, p := range pairs {
+			scenarios = append(scenarios, scenario{"exposed", []topo.Link{p.A, p.B}})
+		}
+	}
+	if pairs := sparse.HiddenPairs(sim.NewRNG(43), 1); len(pairs) > 0 {
+		scenarios = append(scenarios, scenario{"hidden", []topo.Link{pairs[0].A, pairs[0].B}})
+	}
+	if pairs := sparse.InRangePairs(sim.NewRNG(47), 1); len(pairs) > 0 {
+		scenarios = append(scenarios, scenario{"inrange", []topo.Link{pairs[0].A, pairs[0].B}})
+	}
+	if len(scenarios) < 3 {
+		t.Fatalf("only %d scenarios available on the seed testbed", len(scenarios))
+	}
+
+	for si, sc := range scenarios {
+		for _, arm := range goldenArms {
+			runSeed := uint64(1000*si) + uint64(arm)*31 + 5
+			rs := runFlows(sparse, sc.flows, arm, opt, runSeed)
+			rd := runFlows(&dense, sc.flows, arm, opt, runSeed)
+			if !reflect.DeepEqual(rs, rd) {
+				t.Errorf("%s/%v: sparse and dense media diverged\n  sparse %+v\n  dense  %+v",
+					sc.name, arm, rs, rd)
+			}
+			// Guard against the vacuous pass where nothing flowed at all.
+			var total float64
+			for _, r := range rs {
+				total += r.Mbps
+			}
+			if total == 0 {
+				t.Errorf("%s/%v: zero aggregate goodput — equivalence trivially true", sc.name, arm)
+			}
+		}
+	}
+}
+
+// TestSparseDenseEquivalenceOnScenario repeats the proof on a generated
+// large-scale layout where the grid actually prunes pairs, so the
+// equivalence is not an artifact of the office floor fitting inside one
+// grid cell.
+func TestSparseDenseEquivalenceOnScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence proof runs via make golden, not the -short tier")
+	}
+	t.Parallel()
+	opt := Options{
+		Seed:     9,
+		Duration: 1 * sim.Second,
+		Warmup:   500 * sim.Millisecond,
+		Rate:     phy.Rate6Mbps,
+	}
+	s := topo.UniformDisk(300, 100, 9)
+	sparse := s.Testbed()
+	if m := s.Build(sim.NewScheduler(), sim.NewRNG(1)); !m.GridBacked() {
+		t.Fatal("scenario medium not grid backed — test would prove nothing")
+	}
+	dense := *sparse
+	dense.DenseMedium = true
+	pairs := sparse.InRangePairs(sim.NewRNG(17), 2)
+	if len(pairs) == 0 {
+		t.Fatal("no in-range pairs on the disk scenario")
+	}
+	for _, p := range pairs {
+		flows := []topo.Link{p.A, p.B}
+		for _, arm := range []Protocol{CSMAOn, CSMAOffNoAcks, CMAP} {
+			rs := runFlows(sparse, flows, arm, opt, 77+uint64(arm))
+			rd := runFlows(&dense, flows, arm, opt, 77+uint64(arm))
+			if !reflect.DeepEqual(rs, rd) {
+				t.Errorf("disk scenario %v: sparse and dense media diverged\n  sparse %+v\n  dense  %+v", arm, rs, rd)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package geo
+
+import "math"
+
+// Grid is a uniform spatial hash over a fixed point set. It answers
+// "which points lie within radius r of point i" in time proportional to
+// the population of the cells the query circle overlaps, which makes
+// neighbour enumeration over n points O(n·k) at fixed density instead of
+// O(n²). The point set is immutable after construction (simulated nodes
+// do not move).
+type Grid struct {
+	pts        []Point
+	minX, minY float64
+	cell       float64
+	cols, rows int
+	// CSR layout: items[start[c]:start[c+1]] are the point indices in
+	// cell c, in ascending index order.
+	start []int
+	items []int
+}
+
+// NewGrid buckets pts into square cells of the given size. A non-positive
+// or non-finite cell size collapses the grid to a single cell (every
+// query then degenerates to a scan, which stays correct).
+func NewGrid(pts []Point, cell float64) *Grid {
+	g := &Grid{pts: pts, cell: cell, cols: 1, rows: 1}
+	if len(pts) == 0 {
+		g.start = []int{0, 0}
+		return g
+	}
+	g.minX, g.minY = pts[0].X, pts[0].Y
+	maxX, maxY := pts[0].X, pts[0].Y
+	for _, p := range pts {
+		g.minX = math.Min(g.minX, p.X)
+		g.minY = math.Min(g.minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if !(cell > 0) || math.IsInf(cell, 0) || math.IsNaN(cell) {
+		g.cell = math.Max(math.Max(maxX-g.minX, maxY-g.minY), 1)
+	}
+	g.cols = int((maxX-g.minX)/g.cell) + 1
+	g.rows = int((maxY-g.minY)/g.cell) + 1
+	counts := make([]int, g.cols*g.rows+1)
+	for _, p := range pts {
+		counts[g.cellIndex(p)+1]++
+	}
+	for c := 1; c < len(counts); c++ {
+		counts[c] += counts[c-1]
+	}
+	g.start = counts
+	g.items = make([]int, len(pts))
+	fill := make([]int, g.cols*g.rows)
+	copy(fill, g.start[:len(g.start)-1])
+	// Filling in point-index order keeps each cell's slice ascending.
+	for i, p := range pts {
+		c := g.cellIndex(p)
+		g.items[fill[c]] = i
+		fill[c]++
+	}
+	return g
+}
+
+// toCell converts a fractional cell coordinate to an index, saturating
+// non-finite and out-of-range values so ±Inf radii stay well-defined.
+func toCell(v float64) int {
+	if math.IsNaN(v) || v < math.MinInt32 {
+		return math.MinInt32
+	}
+	if v > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(v)
+}
+
+// cellIndex maps a point to its (clamped) flat cell index.
+func (g *Grid) cellIndex(p Point) int {
+	cx := g.clampCol(int((p.X - g.minX) / g.cell))
+	cy := g.clampRow(int((p.Y - g.minY) / g.cell))
+	return cy*g.cols + cx
+}
+
+func (g *Grid) clampCol(c int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= g.cols {
+		return g.cols - 1
+	}
+	return c
+}
+
+func (g *Grid) clampRow(r int) int {
+	if r < 0 {
+		return 0
+	}
+	if r >= g.rows {
+		return g.rows - 1
+	}
+	return r
+}
+
+// Within calls visit(j) for every point j ≠ i whose distance to point i
+// is at most radius. Visit order is cell-major, not globally sorted;
+// callers needing a canonical order must sort what they collect.
+func (g *Grid) Within(i int, radius float64, visit func(j int)) {
+	p := g.pts[i]
+	cx0 := g.clampCol(toCell((p.X - radius - g.minX) / g.cell))
+	cx1 := g.clampCol(toCell((p.X + radius - g.minX) / g.cell))
+	cy0 := g.clampRow(toCell((p.Y - radius - g.minY) / g.cell))
+	cy1 := g.clampRow(toCell((p.Y + radius - g.minY) / g.cell))
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			c := cy*g.cols + cx
+			for _, j := range g.items[g.start[c]:g.start[c+1]] {
+				if j != i && p.Dist(g.pts[j]) <= radius {
+					visit(j)
+				}
+			}
+		}
+	}
+}

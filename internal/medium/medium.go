@@ -2,10 +2,21 @@
 // radios, computes the received power of every transmission at every
 // other radio through the propagation model, and drives each radio's
 // signal start/end callbacks in virtual time.
+//
+// The channel is stored sparsely: each node keeps a sorted delivery list
+// of only the receivers that hear it above the delivery floor. Lists are
+// built with a spatial grid when the propagation model can bound its
+// range (radio.RangeBounder), making construction O(n·k) at fixed node
+// density and Transmit O(audible receivers) — the representation that
+// lets the testbed scale from the paper's 50 nodes to thousands. NewDense
+// retains the brute-force O(n²) construction as the reference the sparse
+// path is tested against; both produce bit-identical simulations.
 package medium
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"repro/internal/frame"
 	"repro/internal/geo"
@@ -13,6 +24,12 @@ import (
 	"repro/internal/radio"
 	"repro/internal/sim"
 )
+
+// delivery is one audible receiver of a node's transmissions.
+type delivery struct {
+	dst    int
+	gainMW float64 // received power at dst at the common transmit power
+}
 
 // Medium is the air. It owns one radio per node and dispatches
 // transmissions to every radio that can hear them.
@@ -24,10 +41,14 @@ type Medium struct {
 	positions []geo.Point
 	radios    []*phy.Radio
 
-	// gainMW[a][b] is the received power in mW at b when a transmits at
-	// the common power; gainMW[a][a] is 0 (radios do not hear themselves).
-	gainMW  [][]float64
-	floorMW float64
+	// deliveries[a] lists, in ascending receiver order, every node that
+	// hears a above the delivery floor and the power it receives. The
+	// ascending order is load-bearing: Transmit schedules signal events
+	// in list order, so list order is part of the deterministic event
+	// sequence that golden traces pin down.
+	deliveries [][]delivery
+	floorMW    float64
+	gridBacked bool
 
 	nextTxID uint64
 	// Transmissions counts frames put on the air, for diagnostics.
@@ -35,8 +56,26 @@ type Medium struct {
 }
 
 // New builds a medium over the given node positions. Each node gets a
-// radio whose decode randomness comes from a stream of rng.
+// radio whose decode randomness comes from a stream of rng. Delivery
+// lists are built through a spatial grid whenever the model bounds its
+// range, and by exhaustive pairing otherwise.
 func New(sched *sim.Scheduler, params phy.Params, model radio.Model, positions []geo.Point, rng *sim.RNG) *Medium {
+	m := newMedium(sched, params, model, positions, rng)
+	m.buildDeliveries(true)
+	return m
+}
+
+// NewDense builds an identical medium through the reference O(n²)
+// construction that considers every ordered pair. It exists so tests can
+// prove the grid-pruned construction loses nothing; simulations behave
+// bit-identically on either.
+func NewDense(sched *sim.Scheduler, params phy.Params, model radio.Model, positions []geo.Point, rng *sim.RNG) *Medium {
+	m := newMedium(sched, params, model, positions, rng)
+	m.buildDeliveries(false)
+	return m
+}
+
+func newMedium(sched *sim.Scheduler, params phy.Params, model radio.Model, positions []geo.Point, rng *sim.RNG) *Medium {
 	m := &Medium{
 		sched:     sched,
 		params:    params,
@@ -49,18 +88,54 @@ func New(sched *sim.Scheduler, params phy.Params, model radio.Model, positions [
 	for i := 0; i < n; i++ {
 		m.radios[i] = phy.NewRadio(i, params, sched, rng.Stream(uint64(0x5ad10+i)), m)
 	}
-	m.gainMW = make([][]float64, n)
+	return m
+}
+
+// gain returns the received power in mW at b when a transmits.
+func (m *Medium) gain(a, b int) float64 {
+	loss := m.model.Loss(a, m.positions[a], b, m.positions[b])
+	return radio.DBmToMW(m.params.TxPowerDBm - loss)
+}
+
+// buildDeliveries fills the per-node delivery lists. useGrid selects the
+// grid-accelerated candidate enumeration; the fallback (and the NewDense
+// path) scans all ordered pairs. Both keep exactly the pairs whose gain
+// clears the delivery floor, in ascending receiver order.
+func (m *Medium) buildDeliveries(useGrid bool) {
+	n := len(m.positions)
+	m.deliveries = make([][]delivery, n)
+	var maxRange float64 = math.Inf(1)
+	if useGrid {
+		if rb, ok := m.model.(radio.RangeBounder); ok {
+			maxRange = rb.MaxRange(m.params.TxPowerDBm - m.params.DeliveryFloorDBm)
+		}
+	}
+	if useGrid && maxRange > 0 && !math.IsInf(maxRange, 1) && !math.IsNaN(maxRange) {
+		m.gridBacked = true
+		grid := geo.NewGrid(m.positions, maxRange)
+		buf := make([]int, 0, 64)
+		for a := 0; a < n; a++ {
+			buf = buf[:0]
+			grid.Within(a, maxRange, func(b int) { buf = append(buf, b) })
+			sort.Ints(buf)
+			for _, b := range buf {
+				if g := m.gain(a, b); g >= m.floorMW {
+					m.deliveries[a] = append(m.deliveries[a], delivery{dst: b, gainMW: g})
+				}
+			}
+		}
+		return
+	}
 	for a := 0; a < n; a++ {
-		m.gainMW[a] = make([]float64, n)
 		for b := 0; b < n; b++ {
 			if a == b {
 				continue
 			}
-			loss := model.Loss(a, positions[a], b, positions[b])
-			m.gainMW[a][b] = radio.DBmToMW(params.TxPowerDBm - loss)
+			if g := m.gain(a, b); g >= m.floorMW {
+				m.deliveries[a] = append(m.deliveries[a], delivery{dst: b, gainMW: g})
+			}
 		}
 	}
-	return m
 }
 
 // NodeCount returns the number of nodes on the medium.
@@ -78,13 +153,45 @@ func (m *Medium) Scheduler() *sim.Scheduler { return m.sched }
 // Params returns the PHY constants shared by all radios.
 func (m *Medium) Params() phy.Params { return m.params }
 
+// GridBacked reports whether the delivery lists were built through the
+// spatial grid (as opposed to the exhaustive pair scan).
+func (m *Medium) GridBacked() bool { return m.gridBacked }
+
+// NeighborCount returns how many receivers hear node i above the
+// delivery floor.
+func (m *Medium) NeighborCount(i int) int { return len(m.deliveries[i]) }
+
+// ForEachNeighbor calls fn for every receiver that hears node i above
+// the delivery floor, in ascending receiver order, with the power it
+// receives in mW.
+func (m *Medium) ForEachNeighbor(i int, fn func(dst int, gainMW float64)) {
+	for _, d := range m.deliveries[i] {
+		fn(d.dst, d.gainMW)
+	}
+}
+
+// lookupGain finds the stored delivery gain from→to, if to is audible.
+func (m *Medium) lookupGain(from, to int) (float64, bool) {
+	list := m.deliveries[from]
+	k := sort.Search(len(list), func(i int) bool { return list[i].dst >= to })
+	if k < len(list) && list[k].dst == to {
+		return list[k].gainMW, true
+	}
+	return 0, false
+}
+
 // RxPowerDBm returns the power at which node "to" hears node "from", in
-// dBm. Returns -inf for from == to.
+// dBm. Links below the delivery floor are recomputed from the model, so
+// the answer matches the dense gain matrix exactly even for pairs the
+// sparse lists do not store. Returns -inf for from == to.
 func (m *Medium) RxPowerDBm(from, to int) float64 {
 	if from == to {
 		return radio.MWToDBm(0)
 	}
-	return radio.MWToDBm(m.gainMW[from][to])
+	if g, ok := m.lookupGain(from, to); ok {
+		return radio.MWToDBm(g)
+	}
+	return radio.MWToDBm(m.gain(from, to))
 }
 
 // IsolationPRR returns the analytic packet reception ratio of the link
@@ -98,8 +205,8 @@ func (m *Medium) IsolationPRR(from, to int, r phy.Rate, wireBytes int) float64 {
 }
 
 // Transmit implements phy.Channel. It fans the frame out to every radio
-// that receives it above the delivery floor and schedules the matching
-// signal-end and transmitter-done events.
+// on the sender's delivery list and schedules the matching signal-end and
+// transmitter-done events.
 func (m *Medium) Transmit(from *phy.Radio, f frame.Frame, r phy.Rate) sim.Time {
 	src := from.ID()
 	if src < 0 || src >= len(m.radios) || m.radios[src] != from {
@@ -110,20 +217,17 @@ func (m *Medium) Transmit(from *phy.Radio, f frame.Frame, r phy.Rate) sim.Time {
 	now := m.sched.Now()
 	end := now + phy.Airtime(r, f.WireSize())
 	txID := m.nextTxID
-	for dst, g := range m.gainMW[src] {
-		if g < m.floorMW || dst == src {
-			continue
-		}
+	for _, d := range m.deliveries[src] {
 		s := &phy.Signal{
 			TxID:    txID,
 			From:    src,
 			Frame:   f,
 			Rate:    r,
-			PowerMW: g,
+			PowerMW: d.gainMW,
 			Start:   now,
 			End:     end,
 		}
-		rcv := m.radios[dst]
+		rcv := m.radios[d.dst]
 		rcv.SignalStart(s)
 		m.sched.At(end, func() { rcv.SignalEnd(s) })
 	}

@@ -47,6 +47,25 @@ type Model interface {
 	Loss(a int, pa geo.Point, b int, pb geo.Point) float64
 }
 
+// RangeBounder is implemented by geometric models that can bound the
+// distance beyond which Loss provably exceeds a given budget for every
+// node pair. The medium uses it to prune its delivery lists with a
+// spatial grid: a pair farther apart than MaxRange(budget) can never be
+// heard above the corresponding power floor, so the bound must be
+// conservative — never smaller than the true cutoff. Models without
+// geometry (e.g. Matrix) simply do not implement it.
+type RangeBounder interface {
+	MaxRange(maxLossDB float64) float64
+}
+
+// MaxShadowSigmas truncates the shadowing variate. Lognormal shadowing
+// is an empirical fit whose far tails are unphysical (±6σ of a 6 dB
+// spread is already ±36 dB — more than any wall); truncating there
+// changes essentially no realised link (P ≈ 2·10⁻⁹ per pair) but gives
+// MaxRange a tight bound, which is what lets the spatial grid prune
+// medium construction.
+const MaxShadowSigmas = 6.0
+
 // LogDistance is the classic indoor log-distance path-loss model with
 // per-link lognormal shadowing:
 //
@@ -82,6 +101,20 @@ func DefaultIndoor5GHz(seed uint64) *LogDistance {
 	}
 }
 
+// DefaultUrban5GHz returns an outdoor model for the large-scale scenario
+// generators: near-free-space reference loss, a gentler exponent than the
+// cluttered office floor, and milder shadowing. Ranges run a few hundred
+// metres, so city-scale layouts are sparse in the delivery sense.
+func DefaultUrban5GHz(seed uint64) *LogDistance {
+	return &LogDistance{
+		RefLossDB:     47.0,
+		Exponent:      3.0,
+		ShadowSigmaDB: 4.0,
+		MinDistance:   1.0,
+		Seed:          seed,
+	}
+}
+
 // Loss implements Model.
 func (m *LogDistance) Loss(a int, pa geo.Point, b int, pb geo.Point) float64 {
 	d := pa.Dist(pb)
@@ -99,8 +132,28 @@ func (m *LogDistance) Loss(a int, pa geo.Point, b int, pb geo.Point) float64 {
 	return loss
 }
 
-// shadow returns a standard normal variate that is symmetric in (a, b)
-// and deterministic in the model seed.
+// MaxRange implements RangeBounder: beyond the returned distance, path
+// loss exceeds maxLossDB even at the most favourable shadowing draw the
+// generator can produce.
+func (m *LogDistance) MaxRange(maxLossDB float64) float64 {
+	if m.Exponent <= 0 {
+		return math.Inf(1)
+	}
+	d := math.Pow(10, (maxLossDB-m.RefLossDB+MaxShadowSigmas*m.ShadowSigmaDB)/(10*m.Exponent))
+	min := m.MinDistance
+	if min <= 0 {
+		min = 1.0
+	}
+	if d < min {
+		// Inside the clamp every pair shares loss(min); if that already
+		// exceeds the budget nothing delivers, but min stays a safe bound.
+		d = min
+	}
+	return d * (1 + 1e-9)
+}
+
+// shadow returns a standard normal variate truncated to ±MaxShadowSigmas
+// that is symmetric in (a, b) and deterministic in the model seed.
 func (m *LogDistance) shadow(a, b int) float64 {
 	lo, hi := a, b
 	if lo > hi {
@@ -108,7 +161,13 @@ func (m *LogDistance) shadow(a, b int) float64 {
 	}
 	h := sim.HashPair(uint64(lo)+1, uint64(hi)+1)
 	rng := sim.NewRNG(h ^ m.Seed)
-	return rng.NormFloat64()
+	v := rng.NormFloat64()
+	if v > MaxShadowSigmas {
+		v = MaxShadowSigmas
+	} else if v < -MaxShadowSigmas {
+		v = -MaxShadowSigmas
+	}
+	return v
 }
 
 // FreeSpace is a shadowing-free model useful for unit tests and
@@ -130,6 +189,22 @@ func (m *FreeSpace) Loss(_ int, pa geo.Point, _ int, pb geo.Point) float64 {
 		d = min
 	}
 	return m.RefLossDB + 10*m.Exponent*math.Log10(d)
+}
+
+// MaxRange implements RangeBounder exactly (no shadowing).
+func (m *FreeSpace) MaxRange(maxLossDB float64) float64 {
+	if m.Exponent <= 0 {
+		return math.Inf(1)
+	}
+	d := math.Pow(10, (maxLossDB-m.RefLossDB)/(10*m.Exponent))
+	min := m.MinDistance
+	if min <= 0 {
+		min = 1.0
+	}
+	if d < min {
+		d = min
+	}
+	return d * (1 + 1e-9)
 }
 
 // Matrix is a model backed by an explicit loss table; it lets tests and

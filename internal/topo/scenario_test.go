@@ -1,0 +1,125 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestGridCityLayout(t *testing.T) {
+	s := GridCity(4, 3, 5, 400, 1)
+	if s.N() != 4*3*5 {
+		t.Fatalf("N = %d, want %d", s.N(), 4*3*5)
+	}
+	if s.Bounds.Width() != 1600 || s.Bounds.Height() != 1200 {
+		t.Fatalf("bounds %v, want 1600×1200", s.Bounds)
+	}
+	for i, p := range s.Pos {
+		if !s.Bounds.Contains(p) {
+			t.Fatalf("node %d at %v outside the city", i, p)
+		}
+	}
+	// Determinism: same seed, same layout.
+	again := GridCity(4, 3, 5, 400, 1)
+	for i := range s.Pos {
+		if s.Pos[i] != again.Pos[i] {
+			t.Fatalf("GridCity not deterministic at node %d", i)
+		}
+	}
+	if other := GridCity(4, 3, 5, 400, 2); other.Pos[0] == s.Pos[0] {
+		t.Fatal("different seeds produced the same layout")
+	}
+}
+
+func TestClusteredAPsLayout(t *testing.T) {
+	const cells, clients = 6, 8
+	s := ClusteredAPs(cells, clients, 2000, 40, 3)
+	if s.N() != cells*(clients+1) {
+		t.Fatalf("N = %d, want %d", s.N(), cells*(clients+1))
+	}
+	if len(s.APs) != cells {
+		t.Fatalf("%d APs, want %d", len(s.APs), cells)
+	}
+	for c, ap := range s.APs {
+		if ap != c*(clients+1) {
+			t.Fatalf("AP %d at index %d, want %d", c, ap, c*(clients+1))
+		}
+		for k := 1; k <= clients; k++ {
+			if d := s.Pos[ap].Dist(s.Pos[ap+k]); d > 40.0001 {
+				t.Fatalf("cell %d client %d is %.1f m from its AP, want ≤40", c, k, d)
+			}
+		}
+	}
+	for i, p := range s.Pos {
+		if !s.Bounds.Contains(p) {
+			t.Fatalf("node %d at %v outside the area", i, p)
+		}
+	}
+}
+
+func TestUniformDiskDensity(t *testing.T) {
+	const n, density = 500, 800.0
+	s := UniformDisk(n, density, 5)
+	if s.N() != n {
+		t.Fatalf("N = %d, want %d", s.N(), n)
+	}
+	// All nodes inside the disk inscribed in Bounds.
+	c := s.Bounds.Center()
+	radius := s.Bounds.Width() / 2
+	for i, p := range s.Pos {
+		if p.Dist(c) > radius*1.0001 {
+			t.Fatalf("node %d at %v outside the disk of radius %.1f", i, p, radius)
+		}
+	}
+	// Realised density is the requested one by construction: area πr²
+	// holds n nodes.
+	areaKm2 := 3.14159265 * radius * radius / 1e6
+	got := float64(n) / areaKm2
+	if got < density*0.99 || got > density*1.01 {
+		t.Fatalf("realised density %.1f nodes/km², want ≈%.1f", got, density)
+	}
+}
+
+func TestScenarioBuildIsSparseAtScale(t *testing.T) {
+	s := UniformDisk(600, 1000, 2)
+	m := s.Build(sim.NewScheduler(), sim.NewRNG(9))
+	if !m.GridBacked() {
+		t.Fatal("disk scenario medium not grid backed")
+	}
+	total := 0
+	for i := 0; i < s.N(); i++ {
+		total += m.NeighborCount(i)
+	}
+	if total == 0 {
+		t.Fatal("no audible links in the disk scenario")
+	}
+	if n := s.N(); total >= n*(n-1)/2 {
+		t.Fatalf("delivery lists hold %d of %d ordered pairs — not sparse", total, n*(n-1))
+	}
+}
+
+func TestScenarioTestbedRunsMeasurementPass(t *testing.T) {
+	// A small clustered layout converts to a Testbed whose link
+	// definitions behave: links inside a cell are strong, APs of distant
+	// cells disconnected, and the census sees every ordered pair.
+	s := ClusteredAPs(4, 6, 1500, 25, 11)
+	tb := s.Testbed()
+	if tb.N != s.N() {
+		t.Fatalf("testbed N = %d, want %d", tb.N, s.N())
+	}
+	c := tb.Census()
+	if c.ConnectedPairs == 0 {
+		t.Fatal("census found no connected pairs")
+	}
+	strong := 0
+	for _, ap := range s.APs {
+		for k := 1; k <= 6; k++ {
+			if tb.PRR[ap][ap+k] > 0.9 {
+				strong++
+			}
+		}
+	}
+	if strong < 12 {
+		t.Fatalf("only %d of 24 in-cell AP→client links are strong", strong)
+	}
+}

@@ -30,6 +30,12 @@ type Testbed struct {
 	Params phy.Params
 	Model  radio.Model
 
+	// DenseMedium makes Build use the reference O(n²) medium
+	// construction instead of the grid-pruned sparse one. The two are
+	// bit-identical (the equivalence tests prove it); the switch exists
+	// so those tests can run both arms through the same experiment code.
+	DenseMedium bool
+
 	// RSS[a][b] is the isolation received power at b from a in dBm;
 	// PRR[a][b] the analytic isolation packet reception ratio for
 	// 1400-byte data frames at 6 Mb/s (§5.1's measurement pass).
@@ -127,6 +133,9 @@ func (tb *Testbed) measure() {
 // scheduler. Decode randomness comes from rng; the channel itself is part
 // of the testbed and identical across builds.
 func (tb *Testbed) Build(sched *sim.Scheduler, rng *sim.RNG) *medium.Medium {
+	if tb.DenseMedium {
+		return medium.NewDense(sched, tb.Params, tb.Model, tb.Pos, rng)
+	}
 	return medium.New(sched, tb.Params, tb.Model, tb.Pos, rng)
 }
 
