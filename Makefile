@@ -8,11 +8,13 @@
 #   make check      build + test, the tier-1 gate
 #   make vet        static analysis
 #   make golden     golden-trace regression tier (bit-exact behaviour pin)
-#   make ci         the full gate: vet + race short tier + golden tier
+#   make alloc-check  allocation-regression gate (0 allocs/frame in steady state)
+#   make bench-json machine-readable scaling benchmarks → BENCH_<sha>.json
+#   make ci         the full gate: vet + race short tier + alloc gate + golden tier
 
 GO ?= go
 
-.PHONY: build test test-full race bench check vet golden ci
+.PHONY: build test test-full race bench check vet golden alloc-check bench-json ci
 
 build:
 	$(GO) build ./...
@@ -37,6 +39,13 @@ vet:
 golden:
 	$(GO) test -run 'TestGolden|TestSparseDense' ./internal/experiments
 
+alloc-check:
+	$(GO) test -count=1 -run 'ZeroAllocs' -v ./internal/medium
+
+bench-json:
+	$(GO) run ./cmd/cmapbench -benchjson
+
 ci: build vet
 	$(GO) test -race -short ./...
+	$(MAKE) alloc-check
 	$(MAKE) golden

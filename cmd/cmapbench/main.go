@@ -13,13 +13,23 @@
 // the numbers are bit-identical at every worker count, so -parallel only
 // changes wall-clock time. -trials overrides every per-experiment
 // topology/run count (Pairs, Triples, APRuns, Meshes) for custom sweeps.
+//
+// -benchjson skips the figure suite, runs the node-count scaling
+// benchmarks instead, and writes BENCH_<git-short-sha>.json (ns/op,
+// B/op, allocs/op per benchmark) so the perf trajectory stays
+// machine-readable across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
 	"strings"
+	"testing"
 	"time"
 
 	"repro/internal/experiments"
@@ -36,7 +46,16 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines per experiment (0 = all CPUs, 1 = serial)")
 	trials := flag.Int("trials", 0, "override per-experiment trial counts (Pairs/Triples/APRuns/Meshes); 0 keeps the scale's defaults")
 	progress := flag.Bool("progress", false, "report per-experiment trial progress on stderr")
+	benchJSON := flag.Bool("benchjson", false, "run the scaling benchmarks, write BENCH_<git-short-sha>.json, and exit")
 	flag.Parse()
+
+	if *benchJSON {
+		if err := writeBenchJSON(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var opt experiments.Options
 	switch *scale {
@@ -197,4 +216,70 @@ func step(title string, fn func()) {
 	t0 := time.Now()
 	fn()
 	fmt.Printf("[%.1fs]\n\n", time.Since(t0).Seconds())
+}
+
+// benchRecord is one benchmark's result in the JSON trajectory file.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"b_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+}
+
+// benchFile is the BENCH_<sha>.json schema.
+type benchFile struct {
+	Commit     string        `json:"commit"`
+	GoVersion  string        `json:"go_version"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// gitShortSHA resolves the current commit, falling back to the binary's
+// embedded VCS stamp and then to "dev" outside any repository.
+func gitShortSHA() string {
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		if sha := strings.TrimSpace(string(out)); sha != "" {
+			return sha
+		}
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 7 {
+				return s.Value[:7]
+			}
+		}
+	}
+	return "dev"
+}
+
+// writeBenchJSON runs the scaling suite through testing.Benchmark and
+// writes the machine-readable trajectory file.
+func writeBenchJSON() error {
+	out := benchFile{
+		Commit:    gitShortSHA(),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, sb := range experiments.ScaleBenchmarks() {
+		fmt.Fprintf(os.Stderr, "bench %s...\n", sb.Name)
+		r := testing.Benchmark(sb.Run)
+		out.Benchmarks = append(out.Benchmarks, benchRecord{
+			Name:        sb.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := fmt.Sprintf("BENCH_%s.json", out.Commit)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(out.Benchmarks))
+	return nil
 }

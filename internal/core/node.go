@@ -163,7 +163,7 @@ func New(id int, cfg Config, m *medium.Medium, rng *sim.RNG) *Node {
 	n.radio.SetHandler(n)
 	// Desynchronised periodic interferer-list broadcast.
 	first := rng.DurationIn(cfg.BroadcastPeriod/4, cfg.BroadcastPeriod)
-	n.sched.After(first, n.broadcastTick)
+	n.sched.PostAfter(first, n, evBroadcastTick)
 	return n
 }
 
@@ -306,6 +306,45 @@ func (n *Node) flowTo(dst int) *txFlow {
 }
 
 func (n *Node) kick() { n.trySend() }
+
+// macEvent enumerates the node's fixed timer callbacks, dispatched
+// through HandleEvent so the per-virtual-packet timers (backoff, defer
+// re-check, ACK wait, retransmission, radio-busy retry) need no closure
+// allocations.
+type macEvent int
+
+const (
+	evTrySend macEvent = iota
+	evRetry
+	evDefer
+	evBackoff
+	evAckWait
+	evRetxTimeout
+	evBroadcastTick
+)
+
+// HandleEvent implements sim.EventHandler for the fixed timer callbacks.
+func (n *Node) HandleEvent(arg any) {
+	switch arg.(macEvent) {
+	case evTrySend:
+		n.trySend()
+	case evRetry:
+		n.retryTimer = nil
+		n.trySend()
+	case evDefer:
+		n.deferTimer = nil
+		n.trySend()
+	case evBackoff:
+		n.backoffTimer = nil
+		n.trySend()
+	case evAckWait:
+		n.ackWaitExpired()
+	case evRetxTimeout:
+		n.retxTimedOut()
+	case evBroadcastTick:
+		n.broadcastTick()
+	}
+}
 
 // ---------------------------------------------------------------------------
 // phy.Handler.

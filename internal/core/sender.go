@@ -23,10 +23,7 @@ func (n *Node) trySend() {
 	}
 	if n.radio.Transmitting() {
 		// An ACK or interferer list of ours is on the air; come back.
-		n.retryTimer = n.sched.After(200*sim.Microsecond, func() {
-			n.retryTimer = nil
-			n.trySend()
-		})
+		n.retryTimer = n.sched.AfterHandler(200*sim.Microsecond, n, evRetry)
 		return
 	}
 	now := n.sched.Now()
@@ -73,10 +70,7 @@ func (n *Node) trySend() {
 		if wait <= now {
 			wait = now + n.cfg.TdeferWait
 		}
-		n.deferTimer = n.sched.At(wait, func() {
-			n.deferTimer = nil
-			n.trySend()
-		})
+		n.deferTimer = n.sched.AtHandler(wait, n, evDefer)
 	case !sendable && totalUnacked > 0 && !n.retxTimer.Active():
 		// Nothing sendable but packets are stuck unacknowledged: arm the
 		// retransmission timeout (§3.3). The paper sizes τmax as the
@@ -93,7 +87,7 @@ func (n *Node) trySend() {
 		if tauMin > tauMax/2 {
 			tauMin = tauMax / 2
 		}
-		n.retxTimer = n.sched.After(n.rng.DurationIn(tauMin, tauMax), n.retxTimedOut)
+		n.retxTimer = n.sched.AfterHandler(n.rng.DurationIn(tauMin, tauMax), n, evRetxTimeout)
 	}
 }
 
@@ -257,23 +251,26 @@ func (n *Node) finishVpkt(f *txFlow) {
 		return
 	}
 	n.waitAck = true
-	n.ackTimer = n.sched.After(n.cfg.TackWait, func() {
-		n.ackTimer = nil
-		n.waitAck = false
-		n.stat.AckWaitExpired++
-		if n.cfg.BackoffOnMissingAck {
-			// Ablation: 802.11-style growth on every missing ACK.
-			if n.cw == 0 {
-				n.cw = n.cfg.CWStart
-			} else if n.cw < n.cfg.CWMax {
-				n.cw *= 2
-				if n.cw > n.cfg.CWMax {
-					n.cw = n.cfg.CWMax
-				}
+	n.ackTimer = n.sched.AfterHandler(n.cfg.TackWait, n, evAckWait)
+}
+
+// ackWaitExpired fires when tackwait passes with no ACK.
+func (n *Node) ackWaitExpired() {
+	n.ackTimer = nil
+	n.waitAck = false
+	n.stat.AckWaitExpired++
+	if n.cfg.BackoffOnMissingAck {
+		// Ablation: 802.11-style growth on every missing ACK.
+		if n.cw == 0 {
+			n.cw = n.cfg.CWStart
+		} else if n.cw < n.cfg.CWMax {
+			n.cw *= 2
+			if n.cw > n.cfg.CWMax {
+				n.cw = n.cfg.CWMax
 			}
 		}
-		n.startBackoff()
-	})
+	}
+	n.startBackoff()
 }
 
 // startBackoff waits a uniform duration in [0, CW] before the next
@@ -289,10 +286,7 @@ func (n *Node) startBackoff() {
 			d += b
 		}
 	}
-	n.backoffTimer = n.sched.After(d, func() {
-		n.backoffTimer = nil
-		n.trySend()
-	})
+	n.backoffTimer = n.sched.AfterHandler(d, n, evBackoff)
 }
 
 // onAck processes a cumulative windowed ACK (Figure 7). The ACK's source
@@ -338,7 +332,7 @@ func (n *Node) onAck(a *frame.Ack) {
 	}
 	// Re-enter the send loop through the software transmit path so the
 	// next frame never starts the very instant the ACK ended.
-	n.sched.After(n.turnaroundDelay(), n.trySend)
+	n.sched.PostAfter(n.turnaroundDelay(), n, evTrySend)
 }
 
 // retxTimedOut queues every unacknowledged packet of every flow for
@@ -361,7 +355,7 @@ func (n *Node) retxTimedOut() {
 func (n *Node) broadcastTick() {
 	now := n.sched.Now()
 	period := n.cfg.BroadcastPeriod
-	n.sched.After(n.rng.DurationIn(period*9/10, period*11/10), n.broadcastTick)
+	n.sched.PostAfter(n.rng.DurationIn(period*9/10, period*11/10), n, evBroadcastTick)
 
 	// Refresh the interferer list from current statistics.
 	for k, st := range n.interfStats {

@@ -132,6 +132,38 @@ func (n *Node) Stats() Stats { return n.stat }
 // they carry the broadcast address and are never ACKed or retried.
 const BroadcastDst = -1
 
+// macEvent enumerates the node's fixed timer callbacks, dispatched
+// through HandleEvent so the per-frame DIFS/slot/ACK events need no
+// closure allocations.
+type macEvent int
+
+const (
+	evDIFS macEvent = iota
+	evSlot
+	evAckTimeout
+	evBeginAccess
+)
+
+// HandleEvent implements sim.EventHandler: fixed timer callbacks arrive
+// as macEvent kinds, deferred ACK transmissions as the ACK frame itself.
+func (n *Node) HandleEvent(arg any) {
+	switch v := arg.(type) {
+	case macEvent:
+		switch v {
+		case evDIFS:
+			n.difsElapsed()
+		case evSlot:
+			n.slotElapsed()
+		case evAckTimeout:
+			n.ackTimedOut()
+		case evBeginAccess:
+			n.beginAccess()
+		}
+	case *frame.Dot11Ack:
+		n.sendAck(v)
+	}
+}
+
 // SetSaturated makes the node a backlogged source towards dst (or
 // BroadcastDst): it always has the next packet ready, the paper's
 // traffic model.
@@ -220,7 +252,7 @@ func (n *Node) beginAccess() {
 
 func (n *Node) startDIFS() {
 	n.stopAccessTimers()
-	n.difsTimer = n.sched.After(phy.DIFS, n.difsElapsed)
+	n.difsTimer = n.sched.AfterHandler(phy.DIFS, n, evDIFS)
 }
 
 func (n *Node) difsElapsed() {
@@ -236,11 +268,13 @@ func (n *Node) countdown() {
 		n.transmitData()
 		return
 	}
-	n.slotTimer = n.sched.After(phy.SlotTime, func() {
-		n.slotTimer = nil
-		n.backoff--
-		n.countdown()
-	})
+	n.slotTimer = n.sched.AfterHandler(phy.SlotTime, n, evSlot)
+}
+
+func (n *Node) slotElapsed() {
+	n.slotTimer = nil
+	n.backoff--
+	n.countdown()
 }
 
 func (n *Node) stopAccessTimers() {
@@ -258,7 +292,7 @@ func (n *Node) transmitData() {
 	n.wantsTx = false
 	if n.radio.Transmitting() {
 		// An ACK we owed someone is on the air; retry shortly.
-		n.sched.After(phy.SlotTime, n.beginAccess)
+		n.sched.PostAfter(phy.SlotTime, n, evBeginAccess)
 		return
 	}
 	n.stat.Sent++
@@ -277,7 +311,7 @@ func (n *Node) OnTxDone(f frame.Frame) {
 	case *frame.Dot11Data:
 		if n.cfg.LinkACKs && !ff.Dst.IsBroadcast() {
 			n.waitAck = true
-			n.ackTimer = n.sched.After(n.ackTimeout(), n.ackTimedOut)
+			n.ackTimer = n.sched.AfterHandler(n.ackTimeout(), n, evAckTimeout)
 			return
 		}
 		// Broadcast or fire-and-forget: next packet immediately.
@@ -340,13 +374,7 @@ func (n *Node) OnFrame(f frame.Frame, info phy.RxInfo) {
 		}
 		if n.cfg.LinkACKs && !ff.Dst.IsBroadcast() {
 			ack := &frame.Dot11Ack{Dst: ff.Src, Seq: ff.Seq}
-			n.sched.After(phy.SIFS, func() {
-				if n.radio.Transmitting() {
-					return // our own frame is on air; sender will retry
-				}
-				n.stat.AcksSent++
-				n.radio.Transmit(ack, phy.RateByID(n.cfg.ControlRate))
-			})
+			n.sched.PostAfter(phy.SIFS, n, ack)
 		}
 	case *frame.Dot11Ack:
 		if ff.Dst != n.addr || !n.waitAck || n.pending == nil {
@@ -368,6 +396,17 @@ func (n *Node) OnFrame(f frame.Frame, info phy.RxInfo) {
 			n.beginAccess()
 		}
 	}
+}
+
+// sendAck transmits a deferred stop-and-wait ACK (scheduled SIFS after
+// the data frame), unless our own frame is on the air — then the sender
+// times out and retries.
+func (n *Node) sendAck(ack *frame.Dot11Ack) {
+	if n.radio.Transmitting() {
+		return
+	}
+	n.stat.AcksSent++
+	n.radio.Transmit(ack, phy.RateByID(n.cfg.ControlRate))
 }
 
 // OnCorrupt implements phy.Handler. DCF learns nothing from corrupted

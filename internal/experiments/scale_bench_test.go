@@ -4,76 +4,15 @@ import (
 	"fmt"
 	"testing"
 
-	"repro/internal/csma"
-	"repro/internal/medium"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/topo"
 )
-
-// scaleDensity keeps the audible neighbourhood constant as n grows, the
-// regime where sparse construction is O(n·k). 50 nodes/km² is a rural
-// mesh: at 1000 nodes the disk spans ~5 km, several delivery ranges
-// across, so the grid genuinely prunes.
-const scaleDensity = 50 // nodes per km²
-
-var scaleSizes = []int{50, 200, 1000}
-
-// scaleFlows picks one saturated flow per stride nodes: each source
-// sends to the receiver that hears it loudest. No O(n²) measurement
-// pass is involved — the delivery lists already know the answer.
-func scaleFlows(s *topo.Scenario, m *medium.Medium, count int) []topo.Link {
-	flows := make([]topo.Link, 0, count)
-	used := map[int]bool{}
-	stride := s.N() / count
-	if stride < 1 {
-		stride = 1
-	}
-	for src := 0; src < s.N() && len(flows) < count; src += stride {
-		best, bestG := -1, 0.0
-		m.ForEachNeighbor(src, func(dst int, gainMW float64) {
-			if !used[dst] && gainMW > bestG {
-				best, bestG = dst, gainMW
-			}
-		})
-		if best == -1 || used[src] {
-			continue
-		}
-		used[src], used[best] = true, true
-		flows = append(flows, topo.Link{Src: src, Dst: best})
-	}
-	return flows
-}
-
-// runScaleTraffic drives saturated 802.11 flows over a fresh build of
-// the scenario for a short virtual window and returns the aggregate
-// goodput, exercising the sparse Transmit fan-out end to end.
-func runScaleTraffic(s *topo.Scenario, flows []topo.Link, d sim.Time, seed uint64) float64 {
-	sched := sim.NewScheduler()
-	rng := sim.NewRNG(seed)
-	m := s.Build(sched, rng.Stream(1))
-	cfg := csma.DefaultConfig()
-	meters := make([]*stats.Meter, len(flows))
-	for i, f := range flows {
-		tx := csma.New(f.Src, cfg, m, rng.Stream(uint64(1000+f.Src)))
-		rx := csma.New(f.Dst, cfg, m, rng.Stream(uint64(1000+f.Dst)))
-		meters[i] = &stats.Meter{Start: 0, End: d}
-		rx.Meter = meters[i]
-		tx.SetSaturated(f.Dst)
-	}
-	sched.Run(d)
-	var agg float64
-	for _, mt := range meters {
-		agg += mt.Mbps()
-	}
-	return agg
-}
 
 // TestThousandNodeScenarioIsSparse is the acceptance guard for the
 // scaling work: a 1000-node medium must be grid-constructed, hold far
 // fewer than n² delivery entries, and still carry traffic.
 func TestThousandNodeScenarioIsSparse(t *testing.T) {
-	s := topo.UniformDisk(1000, scaleDensity, 1)
+	s := topo.UniformDisk(1000, ScaleDensity, 1)
 	m := s.Build(sim.NewScheduler(), sim.NewRNG(1))
 	if !m.GridBacked() {
 		t.Fatal("1000-node disk medium was not grid constructed")
@@ -93,37 +32,41 @@ func TestThousandNodeScenarioIsSparse(t *testing.T) {
 	if max == 0 || total == 0 {
 		t.Fatal("no audible links at 1000 nodes")
 	}
-	flows := scaleFlows(s, m, 20)
+	flows := ScaleFlows(s, m, 20)
 	if len(flows) < 10 {
 		t.Fatalf("only %d flows found at 1000 nodes", len(flows))
 	}
-	if agg := runScaleTraffic(s, flows, 20*sim.Millisecond, 7); agg <= 0 {
+	if agg := RunScaleTraffic(s, flows, 20*sim.Millisecond, 7); agg <= 0 {
 		t.Fatalf("aggregate goodput %v over the 1000-node disk, want > 0", agg)
+	}
+}
+
+// TestSaturatedNetworkCarriesTraffic sanity-checks the steady-state
+// benchmark fixture: warmed-up saturated flows must keep transmitting
+// as the window advances.
+func TestSaturatedNetworkCarriesTraffic(t *testing.T) {
+	net := NewSaturatedNetwork(50, 1)
+	before := net.Medium.Transmissions
+	net.Advance(20 * sim.Millisecond)
+	if net.Medium.Transmissions <= before {
+		t.Fatalf("no transmissions in a saturated steady-state window (%d → %d)",
+			before, net.Medium.Transmissions)
 	}
 }
 
 // BenchmarkMediumConstruct measures channel construction across the
 // node-count sweep; allocations stay O(n·k), not O(n²).
 func BenchmarkMediumConstruct(b *testing.B) {
-	for _, n := range scaleSizes {
-		s := topo.UniformDisk(n, scaleDensity, 1)
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				m := s.Build(sim.NewScheduler(), sim.NewRNG(uint64(i)+1))
-				if m.NodeCount() != n {
-					b.Fatal("bad build")
-				}
-			}
-		})
+	for _, n := range ScaleSizes {
+		b.Run(fmt.Sprintf("n=%d", n), BenchMediumConstruct(n))
 	}
 }
 
 // BenchmarkMediumConstructDense is the O(n²) reference; comparing the
 // two shows the asymptotic gap the grid buys.
 func BenchmarkMediumConstructDense(b *testing.B) {
-	for _, n := range scaleSizes {
-		s := topo.UniformDisk(n, scaleDensity, 1)
+	for _, n := range ScaleSizes {
+		s := topo.UniformDisk(n, ScaleDensity, 1)
 		tb := topo.Testbed{N: n, Bounds: s.Bounds, Pos: s.Pos, Params: s.Params, Model: s.Model, DenseMedium: true}
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
@@ -137,21 +80,20 @@ func BenchmarkMediumConstructDense(b *testing.B) {
 	}
 }
 
-// BenchmarkScaleTraffic runs saturated flows over each scenario size:
-// the virtual window is fixed, so per-op cost tracks how Transmit
-// fan-out scales with network size at constant density.
+// BenchmarkScaleTraffic runs saturated flows over each scenario size
+// with a fresh build per op (the PR 2 shape): per-op cost tracks how
+// construction plus Transmit fan-out scale with network size.
 func BenchmarkScaleTraffic(b *testing.B) {
-	for _, n := range scaleSizes {
-		s := topo.UniformDisk(n, scaleDensity, 1)
-		m := s.Build(sim.NewScheduler(), sim.NewRNG(1))
-		flows := scaleFlows(s, m, n/10+2)
-		if len(flows) == 0 {
-			b.Fatalf("no flows at n=%d", n)
-		}
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				runScaleTraffic(s, flows, 20*sim.Millisecond, uint64(i)+1)
-			}
-		})
+	for _, n := range ScaleSizes {
+		b.Run(fmt.Sprintf("n=%d", n), BenchScaleTraffic(n))
+	}
+}
+
+// BenchmarkSaturatedSteadyState measures 20 ms windows of saturated
+// traffic on a persistent network — construction excluded, the regime
+// the zero-allocation transmit path targets.
+func BenchmarkSaturatedSteadyState(b *testing.B) {
+	for _, n := range ScaleSizes {
+		b.Run(fmt.Sprintf("n=%d", n), BenchSaturatedSteadyState(n))
 	}
 }

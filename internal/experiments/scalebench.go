@@ -1,0 +1,190 @@
+package experiments
+
+// The node-count scaling measurements live outside the _test files so
+// cmapbench can run them and emit machine-readable results (-benchjson):
+// the perf trajectory across PRs is part of the repository's contract,
+// not just a local curiosity.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/csma"
+	"repro/internal/medium"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// ScaleDensity keeps the audible neighbourhood constant as n grows, the
+// regime where sparse construction is O(n·k). 50 nodes/km² is a rural
+// mesh: at 1000 nodes the disk spans ~5 km, several delivery ranges
+// across, so the grid genuinely prunes.
+const ScaleDensity = 50 // nodes per km²
+
+// ScaleSizes is the node-count sweep shared by every scaling benchmark.
+var ScaleSizes = []int{50, 200, 1000}
+
+// ScaleFlows picks one saturated flow per stride nodes: each source
+// sends to the receiver that hears it loudest. No O(n²) measurement
+// pass is involved — the delivery lists already know the answer.
+func ScaleFlows(s *topo.Scenario, m *medium.Medium, count int) []topo.Link {
+	flows := make([]topo.Link, 0, count)
+	used := map[int]bool{}
+	stride := s.N() / count
+	if stride < 1 {
+		stride = 1
+	}
+	for src := 0; src < s.N() && len(flows) < count; src += stride {
+		best, bestG := -1, 0.0
+		m.ForEachNeighbor(src, func(dst int, gainMW float64) {
+			if !used[dst] && gainMW > bestG {
+				best, bestG = dst, gainMW
+			}
+		})
+		if best == -1 || used[src] {
+			continue
+		}
+		used[src], used[best] = true, true
+		flows = append(flows, topo.Link{Src: src, Dst: best})
+	}
+	return flows
+}
+
+// RunScaleTraffic drives saturated 802.11 flows over a fresh build of
+// the scenario for a short virtual window and returns the aggregate
+// goodput, exercising the sparse Transmit fan-out end to end.
+func RunScaleTraffic(s *topo.Scenario, flows []topo.Link, d sim.Time, seed uint64) float64 {
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(seed)
+	m := s.Build(sched, rng.Stream(1))
+	cfg := csma.DefaultConfig()
+	meters := make([]*stats.Meter, len(flows))
+	for i, f := range flows {
+		tx := csma.New(f.Src, cfg, m, rng.Stream(uint64(1000+f.Src)))
+		rx := csma.New(f.Dst, cfg, m, rng.Stream(uint64(1000+f.Dst)))
+		meters[i] = &stats.Meter{Start: 0, End: d}
+		rx.Meter = meters[i]
+		tx.SetSaturated(f.Dst)
+	}
+	sched.Run(d)
+	var agg float64
+	for _, mt := range meters {
+		agg += mt.Mbps()
+	}
+	return agg
+}
+
+// SaturatedNetwork is a built scenario carrying saturated 802.11 flows,
+// kept alive so steady-state traffic can be measured with construction
+// excluded — the regime where per-frame allocation behaviour, not
+// medium construction, dominates.
+type SaturatedNetwork struct {
+	Sched  *sim.Scheduler
+	Medium *medium.Medium
+	Flows  []topo.Link
+}
+
+// NewSaturatedNetwork builds an n-node uniform disk at ScaleDensity,
+// starts one saturated flow per ten nodes, and advances past the
+// initial contention transient.
+func NewSaturatedNetwork(n int, seed uint64) *SaturatedNetwork {
+	s := topo.UniformDisk(n, ScaleDensity, seed)
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(seed)
+	m := s.Build(sched, rng.Stream(1))
+	flows := ScaleFlows(s, m, n/10+2)
+	cfg := csma.DefaultConfig()
+	for _, f := range flows {
+		tx := csma.New(f.Src, cfg, m, rng.Stream(uint64(1000+f.Src)))
+		csma.New(f.Dst, cfg, m, rng.Stream(uint64(1000+f.Dst)))
+		tx.SetSaturated(f.Dst)
+	}
+	net := &SaturatedNetwork{Sched: sched, Medium: m, Flows: flows}
+	net.Advance(20 * sim.Millisecond) // warm past the cold-start transient
+	return net
+}
+
+// Advance runs the network d further through virtual time.
+func (sn *SaturatedNetwork) Advance(d sim.Time) {
+	sn.Sched.Run(sn.Sched.Now() + d)
+}
+
+// ScaleBenchmark is one scaling benchmark runnable outside `go test`.
+type ScaleBenchmark struct {
+	Name string
+	Run  func(b *testing.B)
+}
+
+// BenchMediumConstruct measures sparse channel construction at size n.
+func BenchMediumConstruct(n int) func(b *testing.B) {
+	s := topo.UniformDisk(n, ScaleDensity, 1)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := s.Build(sim.NewScheduler(), sim.NewRNG(uint64(i)+1))
+			if m.NodeCount() != n {
+				b.Fatal("bad build")
+			}
+		}
+	}
+}
+
+// BenchScaleTraffic measures a fresh-build 20 ms saturated run at size
+// n (construction included — the PR 2 shape, kept for trajectory
+// comparability).
+func BenchScaleTraffic(n int) func(b *testing.B) {
+	s := topo.UniformDisk(n, ScaleDensity, 1)
+	m := s.Build(sim.NewScheduler(), sim.NewRNG(1))
+	flows := ScaleFlows(s, m, n/10+2)
+	return func(b *testing.B) {
+		if len(flows) == 0 {
+			b.Fatalf("no flows at n=%d", n)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			RunScaleTraffic(s, flows, 20*sim.Millisecond, uint64(i)+1)
+		}
+	}
+}
+
+// BenchSaturatedSteadyState measures 20 ms virtual-time windows of
+// saturated traffic on a persistent n-node network — construction
+// excluded, the steady state the zero-allocation transmit path targets.
+func BenchSaturatedSteadyState(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		net := NewSaturatedNetwork(n, 1)
+		if len(net.Flows) == 0 {
+			b.Fatalf("no flows at n=%d", n)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.Advance(20 * sim.Millisecond)
+		}
+	}
+}
+
+// ScaleBenchmarks returns the scaling suite cmapbench -benchjson runs.
+func ScaleBenchmarks() []ScaleBenchmark {
+	var out []ScaleBenchmark
+	for _, n := range ScaleSizes {
+		out = append(out, ScaleBenchmark{
+			Name: fmt.Sprintf("MediumConstruct/n=%d", n),
+			Run:  BenchMediumConstruct(n),
+		})
+	}
+	for _, n := range ScaleSizes {
+		out = append(out, ScaleBenchmark{
+			Name: fmt.Sprintf("ScaleTraffic/n=%d", n),
+			Run:  BenchScaleTraffic(n),
+		})
+	}
+	for _, n := range ScaleSizes {
+		out = append(out, ScaleBenchmark{
+			Name: fmt.Sprintf("SaturatedSteadyState/n=%d", n),
+			Run:  BenchSaturatedSteadyState(n),
+		})
+	}
+	return out
+}

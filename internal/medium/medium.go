@@ -11,12 +11,19 @@
 // lets the testbed scale from the paper's 50 nodes to thousands. NewDense
 // retains the brute-force O(n²) construction as the reference the sparse
 // path is tested against; both produce bit-identical simulations.
+//
+// The per-frame data path is allocation-free in steady state: each
+// transmission borrows a phy.Transmission from the medium's free list,
+// fans out to receivers as (shared pointer, per-receiver power) pairs,
+// and is torn down by a single scheduler event that walks the delivery
+// list again — no per-receiver closures, no per-receiver signal objects.
 package medium
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/frame"
 	"repro/internal/geo"
@@ -43,12 +50,17 @@ type Medium struct {
 
 	// deliveries[a] lists, in ascending receiver order, every node that
 	// hears a above the delivery floor and the power it receives. The
-	// ascending order is load-bearing: Transmit schedules signal events
-	// in list order, so list order is part of the deterministic event
+	// ascending order is load-bearing: Transmit touches receivers in
+	// list order, so list order is part of the deterministic event
 	// sequence that golden traces pin down.
 	deliveries [][]delivery
 	floorMW    float64
 	gridBacked bool
+
+	// txFree recycles Transmission objects: a transmission returns to
+	// the list when its end fan-out completes, so steady-state traffic
+	// reuses a small ring of them instead of allocating one per frame.
+	txFree []*phy.Transmission
 
 	nextTxID uint64
 	// Transmissions counts frames put on the air, for diagnostics.
@@ -117,11 +129,20 @@ func (m *Medium) buildDeliveries(useGrid bool) {
 		for a := 0; a < n; a++ {
 			buf = buf[:0]
 			grid.Within(a, maxRange, func(b int) { buf = append(buf, b) })
-			sort.Ints(buf)
+			slices.Sort(buf)
+			if len(buf) == 0 {
+				continue
+			}
+			// Pre-size from the grid candidate count: the kept set is a
+			// subset of the candidates, so one allocation always suffices.
+			list := make([]delivery, 0, len(buf))
 			for _, b := range buf {
 				if g := m.gain(a, b); g >= m.floorMW {
-					m.deliveries[a] = append(m.deliveries[a], delivery{dst: b, gainMW: g})
+					list = append(list, delivery{dst: b, gainMW: g})
 				}
+			}
+			if len(list) > 0 {
+				m.deliveries[a] = list
 			}
 		}
 		return
@@ -173,8 +194,10 @@ func (m *Medium) ForEachNeighbor(i int, fn func(dst int, gainMW float64)) {
 // lookupGain finds the stored delivery gain from→to, if to is audible.
 func (m *Medium) lookupGain(from, to int) (float64, bool) {
 	list := m.deliveries[from]
-	k := sort.Search(len(list), func(i int) bool { return list[i].dst >= to })
-	if k < len(list) && list[k].dst == to {
+	k, ok := slices.BinarySearchFunc(list, to, func(d delivery, dst int) int {
+		return cmp.Compare(d.dst, dst)
+	})
+	if ok {
 		return list[k].gainMW, true
 	}
 	return 0, false
@@ -204,9 +227,52 @@ func (m *Medium) IsolationPRR(from, to int, r phy.Rate, wireBytes int) float64 {
 	return phy.IsolationPRR(m.params, r, m.RxPowerDBm(from, to), wireBytes)
 }
 
+// acquireTx borrows a Transmission from the free list, allocating only
+// when more transmissions overlap than ever before.
+func (m *Medium) acquireTx() *phy.Transmission {
+	if n := len(m.txFree); n > 0 {
+		tx := m.txFree[n-1]
+		m.txFree[n-1] = nil
+		m.txFree = m.txFree[:n-1]
+		return tx
+	}
+	return new(phy.Transmission)
+}
+
+// HandleEvent implements sim.EventHandler: the medium's two per-frame
+// events arrive here. A *phy.Transmission is the end-of-signal fan-out
+// for that transmission; a *phy.Radio is that sender's tx-done upcall.
+// Transmit posts them in that order at the same deadline, so receivers
+// resolve their decodes before the sender's MAC reacts (equal-deadline
+// events fire in scheduling order).
+func (m *Medium) HandleEvent(arg any) {
+	switch v := arg.(type) {
+	case *phy.Transmission:
+		m.finishTransmission(v)
+	case *phy.Radio:
+		v.TxDone()
+	default:
+		panic(fmt.Sprintf("medium: unexpected event arg %T", arg))
+	}
+}
+
+// finishTransmission delivers SignalEnd to every receiver of tx in the
+// same ascending order SignalStart used, then recycles tx. Delivery
+// lists are immutable after construction, so the walk is safe against
+// anything a MAC upcall does.
+func (m *Medium) finishTransmission(tx *phy.Transmission) {
+	for _, d := range m.deliveries[tx.From] {
+		m.radios[d.dst].SignalEnd(tx)
+	}
+	tx.Frame = nil // do not retain the MAC's frame past the air interval
+	m.txFree = append(m.txFree, tx)
+}
+
 // Transmit implements phy.Channel. It fans the frame out to every radio
-// on the sender's delivery list and schedules the matching signal-end and
-// transmitter-done events.
+// on the sender's delivery list and posts one signal-end fan-out event
+// plus the transmitter-done event — two heap-stored events per
+// transmission, regardless of receiver count, and zero allocations in
+// steady state.
 func (m *Medium) Transmit(from *phy.Radio, f frame.Frame, r phy.Rate) sim.Time {
 	src := from.ID()
 	if src < 0 || src >= len(m.radios) || m.radios[src] != from {
@@ -216,23 +282,22 @@ func (m *Medium) Transmit(from *phy.Radio, f frame.Frame, r phy.Rate) sim.Time {
 	m.Transmissions++
 	now := m.sched.Now()
 	end := now + phy.Airtime(r, f.WireSize())
-	txID := m.nextTxID
-	for _, d := range m.deliveries[src] {
-		s := &phy.Signal{
-			TxID:    txID,
-			From:    src,
-			Frame:   f,
-			Rate:    r,
-			PowerMW: d.gainMW,
-			Start:   now,
-			End:     end,
-		}
-		rcv := m.radios[d.dst]
-		rcv.SignalStart(s)
-		m.sched.At(end, func() { rcv.SignalEnd(s) })
+	tx := m.acquireTx()
+	*tx = phy.Transmission{
+		TxID:  m.nextTxID,
+		From:  src,
+		Frame: f,
+		Rate:  r,
+		Start: now,
+		End:   end,
 	}
-	// Scheduled after the signal-end events so that, at equal deadlines,
-	// receivers resolve their decodes before the sender's MAC reacts.
-	m.sched.At(end, from.TxDone)
+	for _, d := range m.deliveries[src] {
+		m.radios[d.dst].SignalStart(tx, d.gainMW)
+	}
+	// Signal-end fan-out first, then the sender's tx-done: at equal
+	// deadlines, receivers resolve their decodes before the sender's
+	// MAC reacts.
+	m.sched.Post(end, m, tx)
+	m.sched.Post(end, m, from)
 	return end
 }

@@ -9,12 +9,15 @@ import (
 	"repro/internal/sim"
 )
 
-// Signal is one transmission as perceived by one receiver: the frame, its
-// rate, and the power it arrives with at that receiver. The medium creates
-// a Signal per (transmission, receiver) pair.
-type Signal struct {
-	// TxID identifies the transmission network-wide (all receivers of one
-	// transmission share it).
+// Transmission is one frame on the air: the shared, per-transmission
+// half of what a receiver perceives. The medium creates exactly one per
+// transmitted frame (recycling them through a free list) and every
+// audible receiver shares the pointer; the per-receiver half — the
+// power the signal arrives with — travels alongside it as a plain
+// float, so fanning a frame out to k receivers allocates nothing.
+type Transmission struct {
+	// TxID identifies the transmission network-wide (all receivers of
+	// one transmission share it). IDs are assigned in increasing order.
 	TxID uint64
 	// From is the transmitting node ID.
 	From int
@@ -22,14 +25,16 @@ type Signal struct {
 	Frame frame.Frame
 	// Rate is the transmission bit-rate.
 	Rate Rate
-	// PowerMW is the received power at this radio in milliwatts.
-	PowerMW float64
 	// Start and End bound the on-air interval.
 	Start, End sim.Time
 }
 
-// PowerDBm returns the received power in dBm.
-func (s *Signal) PowerDBm() float64 { return radio.MWToDBm(s.PowerMW) }
+// activeSignal is one transmission currently audible at a radio,
+// paired with the power it arrives with there.
+type activeSignal struct {
+	tx      *Transmission
+	powerMW float64
+}
 
 // RxInfo describes a reception outcome delivered to the MAC.
 type RxInfo struct {
@@ -82,11 +87,16 @@ type Radio struct {
 	transmitting bool
 	txFrame      frame.Frame
 
-	active map[uint64]*Signal
+	// active holds the audible transmissions in ascending TxID order.
+	// TxIDs are issued monotonically, so arrivals append and removals
+	// binary-search — and any iteration is deterministic by
+	// construction, unlike the map this slice replaced.
+	active []activeSignal
 	// totalMW is the sum of active signal powers (incrementally maintained).
 	totalMW float64
 
-	locked      *Signal
+	locked      *Transmission
+	lockedMW    float64 // received power of the locked transmission here
 	lockLogSucc float64
 	segStart    sim.Time
 
@@ -117,7 +127,6 @@ func NewRadio(id int, params Params, sched *sim.Scheduler, rng *sim.RNG, channel
 		channel: channel,
 		noiseMW: radio.DBmToMW(params.NoiseFloorDBm),
 		csMW:    radio.DBmToMW(params.CSThresholdDBm),
-		active:  make(map[uint64]*Signal),
 	}
 }
 
@@ -135,6 +144,10 @@ func (r *Radio) Params() Params { return r.params }
 
 // Transmitting reports whether the radio is currently sending.
 func (r *Radio) Transmitting() bool { return r.transmitting }
+
+// ActiveSignals returns the number of transmissions currently audible
+// at this radio's antenna.
+func (r *Radio) ActiveSignals() int { return len(r.active) }
 
 // CarrierBusy reports the carrier-sense state: busy while transmitting,
 // while locked onto an incoming frame, or while total in-air power at the
@@ -154,14 +167,15 @@ func (r *Radio) Transmit(f frame.Frame, rate Rate) sim.Time {
 		// Abandon the reception; the frame is lost to us.
 		r.stats.AbortedRx++
 		r.locked = nil
+		r.lockedMW = 0
 		r.lockLogSucc = 0
 	}
 	r.transmitting = true
 	r.txFrame = f
 	r.stats.Transmitted++
-	r.channel.Transmit(r, f, rate)
+	end := r.channel.Transmit(r, f, rate)
 	r.updateCarrier()
-	return 0
+	return end
 }
 
 // TxDone is called by the medium when this radio's transmission ends.
@@ -176,24 +190,50 @@ func (r *Radio) TxDone() {
 	}
 }
 
+// findActive returns the index of txID in the active list.
+func (r *Radio) findActive(txID uint64) (int, bool) {
+	lo, hi := 0, len(r.active)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.active[mid].tx.TxID < txID {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(r.active) && r.active[lo].tx.TxID == txID {
+		return lo, true
+	}
+	return lo, false
+}
+
 // SignalStart is called by the medium when a transmission begins to be
-// heard at this radio.
-func (r *Radio) SignalStart(s *Signal) {
+// heard at this radio, with the power it arrives with here.
+func (r *Radio) SignalStart(tx *Transmission, powerMW float64) {
 	now := r.sched.Now()
 	// Close the running interference segment of a locked reception before
 	// the interference set changes.
 	if r.locked != nil {
 		r.closeSegment(now)
 	}
-	r.active[s.TxID] = s
-	r.totalMW += s.PowerMW
+	// TxIDs are monotone, so new arrivals belong at the tail; the
+	// general insert is kept for robustness against future reordering.
+	if n := len(r.active); n == 0 || r.active[n-1].tx.TxID < tx.TxID {
+		r.active = append(r.active, activeSignal{tx: tx, powerMW: powerMW})
+	} else {
+		i, _ := r.findActive(tx.TxID)
+		r.active = append(r.active, activeSignal{})
+		copy(r.active[i+1:], r.active[i:])
+		r.active[i] = activeSignal{tx: tx, powerMW: powerMW}
+	}
+	r.totalMW += powerMW
 	switch {
 	case r.transmitting:
 		r.stats.Missed++
 	case r.locked == nil:
-		r.tryLock(s, now)
+		r.tryLock(tx, powerMW, now)
 	default:
-		r.tryCapture(s, now)
+		r.tryCapture(tx, powerMW, now)
 	}
 	r.updateCarrier()
 }
@@ -201,24 +241,25 @@ func (r *Radio) SignalStart(s *Signal) {
 // tryCapture models OFDM sync restart: a frame arriving far above the
 // currently locked (weaker) frame captures the receiver. The old frame is
 // abandoned and reported corrupted.
-func (r *Radio) tryCapture(s *Signal, now sim.Time) {
+func (r *Radio) tryCapture(tx *Transmission, powerMW float64, now sim.Time) {
 	if r.params.CaptureMarginDB <= 0 {
 		return // capture disabled
 	}
-	if s.PowerDBm() < r.params.SensitivityDBm {
+	if radio.MWToDBm(powerMW) < r.params.SensitivityDBm {
 		return
 	}
-	interf := r.totalMW - s.PowerMW
+	interf := r.totalMW - powerMW
 	if interf < 0 {
 		interf = 0
 	}
-	sinr := radio.SINR(s.PowerMW, r.noiseMW, interf) - r.params.ImplementationLossDB
+	sinr := radio.SINR(powerMW, r.noiseMW, interf) - r.params.ImplementationLossDB
 	need := sinr - r.params.CaptureMarginDB
 	if r.rng.Float64() >= LockProbability(need, r.params.PreambleOffsetDB) {
 		return
 	}
-	old := r.locked
-	r.locked = s
+	old, oldMW := r.locked, r.lockedMW
+	r.locked = tx
+	r.lockedMW = powerMW
 	r.lockLogSucc = 0
 	r.segStart = now
 	r.stats.Captures++
@@ -226,7 +267,7 @@ func (r *Radio) tryCapture(s *Signal, now sim.Time) {
 	if r.handler != nil {
 		r.handler.OnCorrupt(RxInfo{
 			From:     old.From,
-			PowerDBm: old.PowerDBm(),
+			PowerDBm: radio.MWToDBm(oldMW),
 			Rate:     old.Rate,
 			Start:    old.Start,
 			End:      now,
@@ -236,39 +277,45 @@ func (r *Radio) tryCapture(s *Signal, now sim.Time) {
 
 // SignalEnd is called by the medium when a transmission stops being heard
 // at this radio.
-func (r *Radio) SignalEnd(s *Signal) {
+func (r *Radio) SignalEnd(tx *Transmission) {
 	now := r.sched.Now()
 	if r.locked != nil {
 		r.closeSegment(now)
 	}
-	delete(r.active, s.TxID)
-	r.totalMW -= s.PowerMW
+	if i, ok := r.findActive(tx.TxID); ok {
+		powerMW := r.active[i].powerMW
+		copy(r.active[i:], r.active[i+1:])
+		r.active[len(r.active)-1] = activeSignal{} // drop the Transmission reference
+		r.active = r.active[:len(r.active)-1]
+		r.totalMW -= powerMW
+	}
 	if r.totalMW < 0 {
 		r.totalMW = 0
 	}
-	if r.locked == s {
-		r.finishReception(s, now)
+	if r.locked == tx {
+		r.finishReception(tx, now)
 	}
 	r.updateCarrier()
 }
 
-// tryLock attempts preamble acquisition on s. Acquisition is
+// tryLock attempts preamble acquisition on tx. Acquisition is
 // probabilistic: a short BPSK block must decode at the instantaneous SINR.
-func (r *Radio) tryLock(s *Signal, now sim.Time) {
-	if s.PowerDBm() < r.params.SensitivityDBm {
+func (r *Radio) tryLock(tx *Transmission, powerMW float64, now sim.Time) {
+	if radio.MWToDBm(powerMW) < r.params.SensitivityDBm {
 		r.stats.Missed++
 		return
 	}
-	interf := r.totalMW - s.PowerMW
+	interf := r.totalMW - powerMW
 	if interf < 0 {
 		interf = 0
 	}
-	sinr := radio.SINR(s.PowerMW, r.noiseMW, interf) - r.params.ImplementationLossDB
+	sinr := radio.SINR(powerMW, r.noiseMW, interf) - r.params.ImplementationLossDB
 	if r.rng.Float64() >= LockProbability(sinr, r.params.PreambleOffsetDB) {
 		r.stats.Missed++
 		return
 	}
-	r.locked = s
+	r.locked = tx
+	r.lockedMW = powerMW
 	r.lockLogSucc = 0
 	r.segStart = now
 }
@@ -276,32 +323,32 @@ func (r *Radio) tryLock(s *Signal, now sim.Time) {
 // closeSegment integrates the bit-success probability of the locked frame
 // over [segStart, now) at the current interference level.
 func (r *Radio) closeSegment(now sim.Time) {
-	s := r.locked
 	dur := now - r.segStart
 	r.segStart = now
 	if dur <= 0 {
 		return
 	}
-	interf := r.totalMW - s.PowerMW
+	interf := r.totalMW - r.lockedMW
 	if interf < 0 {
 		interf = 0
 	}
-	sinr := radio.SINR(s.PowerMW, r.noiseMW, interf) - r.params.ImplementationLossDB
-	ber := BitErrorRate(s.Rate, sinr)
-	bits := float64(dur) * s.Rate.Mbps / 1000 // ns × Mb/s = 1e-3 bits
+	sinr := radio.SINR(r.lockedMW, r.noiseMW, interf) - r.params.ImplementationLossDB
+	ber := BitErrorRate(r.locked.Rate, sinr)
+	bits := float64(dur) * r.locked.Rate.Mbps / 1000 // ns × Mb/s = 1e-3 bits
 	r.lockLogSucc += logSuccess(ber, bits)
 }
 
 // finishReception resolves the decode of a completed locked frame.
-func (r *Radio) finishReception(s *Signal, now sim.Time) {
+func (r *Radio) finishReception(tx *Transmission, now sim.Time) {
 	r.locked = nil
 	info := RxInfo{
-		From:     s.From,
-		PowerDBm: s.PowerDBm(),
-		Rate:     s.Rate,
-		Start:    s.Start,
+		From:     tx.From,
+		PowerDBm: radio.MWToDBm(r.lockedMW),
+		Rate:     tx.Rate,
+		Start:    tx.Start,
 		End:      now,
 	}
+	r.lockedMW = 0
 	pSuccess := math.Exp(r.lockLogSucc)
 	r.lockLogSucc = 0
 	if r.handler == nil {
@@ -309,7 +356,7 @@ func (r *Radio) finishReception(s *Signal, now sim.Time) {
 	}
 	if r.rng.Float64() < pSuccess {
 		r.stats.Decoded++
-		r.handler.OnFrame(s.Frame, info)
+		r.handler.OnFrame(tx.Frame, info)
 	} else {
 		r.stats.Corrupted++
 		r.handler.OnCorrupt(info)

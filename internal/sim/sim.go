@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -36,82 +35,95 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // String formats the time as seconds with microsecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 
-// An event is a scheduled callback. Events with equal deadlines fire in
-// scheduling order (seq breaks ties), which keeps runs stable across
-// map-iteration and heap-sift nondeterminism.
-type event struct {
-	at    Time
-	seq   uint64
-	fn    func()
-	index int // heap index; -1 once removed
+// An EventHandler receives fired events. Components that schedule events
+// per frame implement it once and pass per-event context through arg, so
+// the steady-state schedule→fire cycle performs no heap allocation (a
+// closure per event would allocate; a pointer-shaped arg does not).
+type EventHandler interface {
+	HandleEvent(arg any)
 }
 
-// Timer is a handle to a scheduled event; it can be stopped before firing.
+// event is a scheduled callback, stored by value in the agenda heap.
+// Events with equal deadlines fire in scheduling order (seq breaks
+// ties), which keeps runs stable across heap-sift nondeterminism. slot
+// indexes the cancellation table for timer-backed events; -1 marks the
+// uncancellable fire-and-forget events of the hot path.
+type event struct {
+	at     Time
+	seq    uint64
+	target EventHandler
+	arg    any
+	slot   int32
+}
+
+// slotEntry tracks one cancellable event's position in the heap. gen
+// disambiguates recycled slots: a Timer holds the generation it was
+// issued with and goes stale when the slot is freed and reissued.
+type slotEntry struct {
+	heapIndex int32 // -1 once fired or stopped
+	gen       uint32
+}
+
+// funcRunner adapts func() callbacks to the EventHandler path; At and
+// After wrap through it so closure-based callers keep compiling.
+type funcRunner struct{}
+
+func (funcRunner) HandleEvent(arg any) { arg.(func())() }
+
+// Timer is a handle to a scheduled event; it can be stopped before
+// firing. The zero value is not a valid timer.
 type Timer struct {
-	ev *event
-	s  *Scheduler
+	s    *Scheduler
+	slot int32
+	gen  uint32
+	at   Time
 }
 
 // Stop cancels the timer. It reports whether the timer was still pending
 // (false if it already fired or was previously stopped). Stopping a nil
 // timer is a no-op that returns false.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.index < 0 {
+	if t == nil || t.s == nil {
 		return false
 	}
-	heap.Remove(&t.s.queue, t.ev.index)
-	t.ev.index = -1
-	t.ev.fn = nil
+	sl := &t.s.slots[t.slot]
+	if sl.gen != t.gen || sl.heapIndex < 0 {
+		return false
+	}
+	t.s.removeAt(int(sl.heapIndex))
+	t.s.freeSlot(t.slot)
 	return true
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool { return t != nil && t.ev != nil && t.ev.index >= 0 }
+func (t *Timer) Active() bool {
+	if t == nil || t.s == nil {
+		return false
+	}
+	sl := &t.s.slots[t.slot]
+	return sl.gen == t.gen && sl.heapIndex >= 0
+}
 
-// When returns the deadline of the timer. It is valid even after the timer
-// fired or was stopped.
+// When returns the deadline of the timer. It is valid even after the
+// timer fired or was stopped.
 func (t *Timer) When() Time {
-	if t == nil || t.ev == nil {
+	if t == nil {
 		return 0
 	}
-	return t.ev.at
-}
-
-// eventQueue is a binary min-heap over (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+	return t.at
 }
 
 // Scheduler owns the virtual clock and the event agenda.
 // The zero value is ready to use.
 type Scheduler struct {
-	now     Time
-	queue   eventQueue
+	now   Time
+	queue []event // binary min-heap over (at, seq)
+
+	// Cancellation table for timer-backed events, with a free-list so
+	// fired events recycle their slots instead of growing the table.
+	slots     []slotEntry
+	freeSlots []int32
+
 	nextSeq uint64
 	fired   uint64
 }
@@ -128,16 +140,59 @@ func (s *Scheduler) Pending() int { return len(s.queue) }
 // Fired returns the total number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: a MAC state machine that rewinds time is a bug, not a request.
-func (s *Scheduler) At(t Time, fn func()) *Timer {
+func (s *Scheduler) checkNotPast(t Time) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
-	ev := &event{at: t, seq: s.nextSeq, fn: fn}
+}
+
+// Post schedules h.HandleEvent(arg) at absolute virtual time t with no
+// cancellation handle. This is the zero-allocation path: the event lives
+// by value in the agenda heap, so steady-state traffic (which posts and
+// fires at the same rate) touches no allocator. Scheduling in the past
+// panics, as with At.
+func (s *Scheduler) Post(t Time, h EventHandler, arg any) {
+	s.checkNotPast(t)
+	s.push(event{at: t, seq: s.nextSeq, target: h, arg: arg, slot: -1})
 	s.nextSeq++
-	heap.Push(&s.queue, ev)
-	return &Timer{ev: ev, s: s}
+}
+
+// PostAfter schedules h.HandleEvent(arg) d after the current time with
+// no cancellation handle.
+func (s *Scheduler) PostAfter(d Time, h EventHandler, arg any) {
+	if d < 0 {
+		d = 0
+	}
+	s.Post(s.now+d, h, arg)
+}
+
+// AtHandler schedules h.HandleEvent(arg) at absolute virtual time t and
+// returns a cancellation handle. Only the Timer itself is allocated; the
+// event is stored by value and its cancellation slot is recycled.
+func (s *Scheduler) AtHandler(t Time, h EventHandler, arg any) *Timer {
+	s.checkNotPast(t)
+	slot := s.allocSlot()
+	tm := &Timer{s: s, slot: slot, gen: s.slots[slot].gen, at: t}
+	s.push(event{at: t, seq: s.nextSeq, target: h, arg: arg, slot: slot})
+	s.nextSeq++
+	return tm
+}
+
+// AfterHandler schedules h.HandleEvent(arg) d after the current time and
+// returns a cancellation handle.
+func (s *Scheduler) AfterHandler(d Time, h EventHandler, arg any) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtHandler(s.now+d, h, arg)
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: a MAC state machine that rewinds time is a bug, not a
+// request. At is a thin wrapper over the handler path; prefer Post for
+// per-frame events on hot paths.
+func (s *Scheduler) At(t Time, fn func()) *Timer {
+	return s.AtHandler(t, funcRunner{}, fn)
 }
 
 // After schedules fn to run d after the current time.
@@ -151,19 +206,20 @@ func (s *Scheduler) After(d Time, fn func()) *Timer {
 // Step executes the next event, advancing the clock to its deadline.
 // It reports false when the agenda is empty.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.fn == nil { // stopped after being popped: cannot happen, but be safe
-			continue
-		}
-		s.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		s.fired++
-		fn()
-		return true
+	if len(s.queue) == 0 {
+		return false
 	}
-	return false
+	ev := s.queue[0]
+	s.popRoot()
+	if ev.slot >= 0 {
+		// Free before firing so Stop from inside the callback reports
+		// false for the event already executing.
+		s.freeSlot(ev.slot)
+	}
+	s.now = ev.at
+	s.fired++
+	ev.target.HandleEvent(ev.arg)
+	return true
 }
 
 // Run executes events until the agenda is empty or the clock would pass
@@ -182,5 +238,113 @@ func (s *Scheduler) Run(until Time) {
 // workloads that are guaranteed to quiesce.
 func (s *Scheduler) RunAll() {
 	for s.Step() {
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation slots.
+
+func (s *Scheduler) allocSlot() int32 {
+	if n := len(s.freeSlots); n > 0 {
+		slot := s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+		return slot
+	}
+	s.slots = append(s.slots, slotEntry{heapIndex: -1})
+	return int32(len(s.slots) - 1)
+}
+
+func (s *Scheduler) freeSlot(slot int32) {
+	s.slots[slot].heapIndex = -1
+	s.slots[slot].gen++ // invalidate outstanding Timers
+	s.freeSlots = append(s.freeSlots, slot)
+}
+
+// ---------------------------------------------------------------------------
+// Heap. Hand-rolled over []event rather than container/heap: the
+// interface-based API would box every by-value event on Push/Pop, which
+// is exactly the allocation this representation exists to avoid.
+
+func (s *Scheduler) less(i, j int) bool {
+	a, b := &s.queue[i], &s.queue[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) swap(i, j int) {
+	q := s.queue
+	q[i], q[j] = q[j], q[i]
+	if q[i].slot >= 0 {
+		s.slots[q[i].slot].heapIndex = int32(i)
+	}
+	if q[j].slot >= 0 {
+		s.slots[q[j].slot].heapIndex = int32(j)
+	}
+}
+
+func (s *Scheduler) push(ev event) {
+	s.queue = append(s.queue, ev)
+	i := len(s.queue) - 1
+	if ev.slot >= 0 {
+		s.slots[ev.slot].heapIndex = int32(i)
+	}
+	s.siftUp(i)
+}
+
+func (s *Scheduler) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Scheduler) siftDown(i int) {
+	n := len(s.queue)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && s.less(right, left) {
+			least = right
+		}
+		if !s.less(least, i) {
+			return
+		}
+		s.swap(i, least)
+		i = least
+	}
+}
+
+// popRoot removes the minimum event, zeroing the vacated tail entry so
+// the heap's spare capacity retains no target/arg references.
+func (s *Scheduler) popRoot() {
+	n := len(s.queue) - 1
+	s.swap(0, n)
+	s.queue[n] = event{}
+	s.queue = s.queue[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+}
+
+// removeAt removes the event at heap index i (timer cancellation).
+func (s *Scheduler) removeAt(i int) {
+	n := len(s.queue) - 1
+	if i != n {
+		s.swap(i, n)
+	}
+	s.queue[n] = event{}
+	s.queue = s.queue[:n]
+	if i != n {
+		s.siftDown(i)
+		s.siftUp(i)
 	}
 }
