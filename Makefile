@@ -10,11 +10,14 @@
 #   make golden     golden-trace regression tier (bit-exact behaviour pin)
 #   make alloc-check  allocation-regression gate (0 allocs/frame in steady state)
 #   make bench-json machine-readable scaling benchmarks → BENCH_<sha>.json
+#   make profile    CPU+heap pprof of the scaling benchmarks → cpu.pprof/mem.pprof
+#   make bench-smoke  one-iteration steady-state benchmark (compile-level perf canary)
 #   make ci         the full gate: vet + race short tier + alloc gate + golden tier
+#                   + bench smoke
 
 GO ?= go
 
-.PHONY: build test test-full race bench check vet golden alloc-check bench-json ci
+.PHONY: build test test-full race bench check vet golden alloc-check bench-json profile bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -45,7 +48,19 @@ alloc-check:
 bench-json:
 	$(GO) run ./cmd/cmapbench -benchjson
 
+profile:
+	$(GO) run ./cmd/cmapbench -benchjson -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "inspect with: go tool pprof cpu.pprof   (or mem.pprof)"
+
+# One iteration of the steady-state benchmark: catches a perf-path
+# regression that changes the compile-level shape of the hot path (e.g.
+# table construction leaking onto it) without paying for a full
+# benchmark run.
+bench-smoke:
+	$(GO) test -run XXX -bench 'SaturatedSteadyState' -benchtime 1x ./internal/experiments
+
 ci: build vet
 	$(GO) test -race -short ./...
 	$(MAKE) alloc-check
 	$(MAKE) golden
+	$(MAKE) bench-smoke

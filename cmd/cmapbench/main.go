@@ -18,6 +18,11 @@
 // benchmarks instead, and writes BENCH_<git-short-sha>.json (ns/op,
 // B/op, allocs/op per benchmark) so the perf trajectory stays
 // machine-readable across PRs.
+//
+// -cpuprofile/-memprofile write pprof profiles covering whatever the
+// invocation runs (the figure suite or, with -benchjson, the scaling
+// benchmarks), so a perf investigation starts from `go tool pprof`
+// instead of guesswork; `make profile` is the canonical invocation.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"os/exec"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -47,7 +53,39 @@ func main() {
 	trials := flag.Int("trials", 0, "override per-experiment trial counts (Pairs/Triples/APRuns/Meshes); 0 keeps the scale's defaults")
 	progress := flag.Bool("progress", false, "report per-experiment trial progress on stderr")
 	benchJSON := flag.Bool("benchjson", false, "run the scaling benchmarks, write BENCH_<git-short-sha>.json, and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Report-and-continue on failure: os.Exit here would skip the
+		// CPU-profile defers and truncate cpu.pprof too.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise the steady-state live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *benchJSON {
 		if err := writeBenchJSON(); err != nil {

@@ -132,11 +132,14 @@ type Node struct {
 	cur       *vpktTx
 	waitAck   bool
 
-	ackTimer     *sim.Timer
-	backoffTimer *sim.Timer
-	deferTimer   *sim.Timer
-	retxTimer    *sim.Timer
-	retryTimer   *sim.Timer
+	// The send-loop timers are caller-owned values re-armed through
+	// Scheduler.ResetAfter/ResetAt, so the per-virtual-packet cycle
+	// allocates no Timer handles.
+	ackTimer     sim.Timer
+	backoffTimer sim.Timer
+	deferTimer   sim.Timer
+	retxTimer    sim.Timer
+	retryTimer   sim.Timer
 
 	// lastRelay rate-limits two-hop list relays per original source.
 	lastRelay map[frame.Addr]sim.Time
@@ -329,13 +332,10 @@ func (n *Node) HandleEvent(arg any) {
 	case evTrySend:
 		n.trySend()
 	case evRetry:
-		n.retryTimer = nil
 		n.trySend()
 	case evDefer:
-		n.deferTimer = nil
 		n.trySend()
 	case evBackoff:
-		n.backoffTimer = nil
 		n.trySend()
 	case evAckWait:
 		n.ackWaitExpired()

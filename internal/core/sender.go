@@ -23,7 +23,7 @@ func (n *Node) trySend() {
 	}
 	if n.radio.Transmitting() {
 		// An ACK or interferer list of ours is on the air; come back.
-		n.retryTimer = n.sched.AfterHandler(200*sim.Microsecond, n, evRetry)
+		n.sched.ResetAfter(&n.retryTimer, 200*sim.Microsecond, n, evRetry)
 		return
 	}
 	now := n.sched.Now()
@@ -70,7 +70,7 @@ func (n *Node) trySend() {
 		if wait <= now {
 			wait = now + n.cfg.TdeferWait
 		}
-		n.deferTimer = n.sched.AtHandler(wait, n, evDefer)
+		n.sched.ResetAt(&n.deferTimer, wait, n, evDefer)
 	case !sendable && totalUnacked > 0 && !n.retxTimer.Active():
 		// Nothing sendable but packets are stuck unacknowledged: arm the
 		// retransmission timeout (§3.3). The paper sizes τmax as the
@@ -87,7 +87,7 @@ func (n *Node) trySend() {
 		if tauMin > tauMax/2 {
 			tauMin = tauMax / 2
 		}
-		n.retxTimer = n.sched.AfterHandler(n.rng.DurationIn(tauMin, tauMax), n, evRetxTimeout)
+		n.sched.ResetAfter(&n.retxTimer, n.rng.DurationIn(tauMin, tauMax), n, evRetxTimeout)
 	}
 }
 
@@ -251,12 +251,11 @@ func (n *Node) finishVpkt(f *txFlow) {
 		return
 	}
 	n.waitAck = true
-	n.ackTimer = n.sched.AfterHandler(n.cfg.TackWait, n, evAckWait)
+	n.sched.ResetAfter(&n.ackTimer, n.cfg.TackWait, n, evAckWait)
 }
 
 // ackWaitExpired fires when tackwait passes with no ACK.
 func (n *Node) ackWaitExpired() {
-	n.ackTimer = nil
 	n.waitAck = false
 	n.stat.AckWaitExpired++
 	if n.cfg.BackoffOnMissingAck {
@@ -286,7 +285,7 @@ func (n *Node) startBackoff() {
 			d += b
 		}
 	}
-	n.backoffTimer = n.sched.AfterHandler(d, n, evBackoff)
+	n.sched.ResetAfter(&n.backoffTimer, d, n, evBackoff)
 }
 
 // onAck processes a cumulative windowed ACK (Figure 7). The ACK's source
@@ -319,13 +318,9 @@ func (n *Node) onAck(a *frame.Ack) {
 	}
 	// Progress: the retransmission timeout restarts from scratch if still
 	// needed.
-	if n.retxTimer.Stop() {
-		n.retxTimer = nil
-	}
+	n.retxTimer.Stop()
 	if n.waitAck {
-		if n.ackTimer.Stop() {
-			n.ackTimer = nil
-		}
+		n.ackTimer.Stop()
 		n.waitAck = false
 		n.startBackoff()
 		return
@@ -338,7 +333,6 @@ func (n *Node) onAck(a *frame.Ack) {
 // retxTimedOut queues every unacknowledged packet of every flow for
 // retransmission in sequence (§3.3).
 func (n *Node) retxTimedOut() {
-	n.retxTimer = nil
 	n.stat.RetxTimeouts++
 	for _, f := range n.flows {
 		f.retx = f.retx[:0]

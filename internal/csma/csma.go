@@ -82,9 +82,16 @@ type Node struct {
 	wantsTx   bool
 	waitAck   bool
 
-	difsTimer *sim.Timer
-	slotTimer *sim.Timer
-	ackTimer  *sim.Timer
+	// countdownStart is when the running backoff countdown began; on a
+	// carrier-busy freeze the fully elapsed slots since then are deducted.
+	countdownStart sim.Time
+
+	// The per-frame timers are caller-owned values re-armed through
+	// Scheduler.ResetAfter, so steady-state access cycles allocate no
+	// Timer handles.
+	difsTimer    sim.Timer
+	backoffTimer sim.Timer
+	ackTimer     sim.Timer
 
 	// Receiver state: last delivered seq per source. Stop-and-wait means
 	// a duplicate can only be a retransmission of the most recent packet,
@@ -139,7 +146,7 @@ type macEvent int
 
 const (
 	evDIFS macEvent = iota
-	evSlot
+	evBackoff
 	evAckTimeout
 	evBeginAccess
 )
@@ -152,8 +159,8 @@ func (n *Node) HandleEvent(arg any) {
 		switch v {
 		case evDIFS:
 			n.difsElapsed()
-		case evSlot:
-			n.slotElapsed()
+		case evBackoff:
+			n.backoffElapsed()
 		case evAckTimeout:
 			n.ackTimedOut()
 		case evBeginAccess:
@@ -252,39 +259,47 @@ func (n *Node) beginAccess() {
 
 func (n *Node) startDIFS() {
 	n.stopAccessTimers()
-	n.difsTimer = n.sched.AfterHandler(phy.DIFS, n, evDIFS)
+	n.sched.ResetAfter(&n.difsTimer, phy.DIFS, n, evDIFS)
 }
 
 func (n *Node) difsElapsed() {
-	n.difsTimer = nil
 	n.countdown()
 }
 
-// countdown burns backoff slots; with carrier sense the timers are
-// cancelled on busy edges and the countdown resumes after the next idle
-// DIFS, freezing the remaining slots as DCF specifies.
+// countdown runs the remaining backoff down as ONE timer covering all
+// remaining slots, not one event per slot: between carrier edges the
+// channel state cannot change, so the countdown either runs to
+// completion untouched (the transmission still starts at exactly
+// countdownStart + backoff·SlotTime) or is frozen by a busy edge — at
+// which point the fully elapsed slots are deducted. A busy edge landing
+// exactly ON a slot boundary counts that slot as elapsed (it was idle
+// throughout); the per-slot scheme this replaces could resolve such
+// ties either way depending on event seq order, so the collapse is
+// DCF-equivalent but not tie-for-tie identical — one of the reasons the
+// golden traces were regenerated for this change. With carrier sense
+// the timer is cancelled on busy edges and the countdown resumes after
+// the next idle DIFS, freezing the remaining slots as DCF specifies.
 func (n *Node) countdown() {
 	if n.backoff <= 0 {
 		n.transmitData()
 		return
 	}
-	n.slotTimer = n.sched.AfterHandler(phy.SlotTime, n, evSlot)
+	n.countdownStart = n.sched.Now()
+	n.sched.ResetAfter(&n.backoffTimer, sim.Time(n.backoff)*phy.SlotTime, n, evBackoff)
 }
 
-func (n *Node) slotElapsed() {
-	n.slotTimer = nil
-	n.backoff--
-	n.countdown()
+func (n *Node) backoffElapsed() {
+	n.backoff = 0
+	n.transmitData()
 }
 
 func (n *Node) stopAccessTimers() {
-	if n.difsTimer != nil {
-		n.difsTimer.Stop()
-		n.difsTimer = nil
-	}
-	if n.slotTimer != nil {
-		n.slotTimer.Stop()
-		n.slotTimer = nil
+	n.difsTimer.Stop()
+	if n.backoffTimer.Stop() {
+		n.backoff -= int((n.sched.Now() - n.countdownStart) / phy.SlotTime)
+		if n.backoff < 0 {
+			n.backoff = 0
+		}
 	}
 }
 
@@ -311,7 +326,7 @@ func (n *Node) OnTxDone(f frame.Frame) {
 	case *frame.Dot11Data:
 		if n.cfg.LinkACKs && !ff.Dst.IsBroadcast() {
 			n.waitAck = true
-			n.ackTimer = n.sched.AfterHandler(n.ackTimeout(), n, evAckTimeout)
+			n.sched.ResetAfter(&n.ackTimer, n.ackTimeout(), n, evAckTimeout)
 			return
 		}
 		// Broadcast or fire-and-forget: next packet immediately.
@@ -327,7 +342,6 @@ func (n *Node) OnTxDone(f frame.Frame) {
 }
 
 func (n *Node) ackTimedOut() {
-	n.ackTimer = nil
 	n.waitAck = false
 	n.stat.AckTimeout++
 	n.retries++
@@ -383,10 +397,7 @@ func (n *Node) OnFrame(f frame.Frame, info phy.RxInfo) {
 		if ff.Seq != n.pending.Seq {
 			return
 		}
-		if n.ackTimer != nil {
-			n.ackTimer.Stop()
-			n.ackTimer = nil
-		}
+		n.ackTimer.Stop()
 		n.waitAck = false
 		n.pending = nil
 		n.retries = 0

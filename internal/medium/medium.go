@@ -17,6 +17,9 @@
 // fans out to receivers as (shared pointer, per-receiver power) pairs,
 // and is torn down by a single scheduler event that walks the delivery
 // list again — no per-receiver closures, no per-receiver signal objects.
+// Delivery gains are stored in linear mW, which is also the domain the
+// radios' segment fan-out (SignalStart/SignalEnd) computes in: the
+// reception math never round-trips through dB per segment.
 package medium
 
 import (

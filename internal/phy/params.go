@@ -35,6 +35,14 @@ type Params struct {
 	// DeliveryFloorDBm bounds medium fan-out: signals arriving below this
 	// power are ignored entirely (they are far below noise).
 	DeliveryFloorDBm float64
+	// ExactReceptionMath routes the per-segment reception math through
+	// the exact transcendental formulas (Erfc-based BER, dB-domain SINR)
+	// instead of the precomputed linear-domain tables. Decode outcomes
+	// are statistically indistinguishable either way (the tables carry a
+	// bounded-error guarantee); the exact path is retained as the
+	// reference implementation and for A/B validation, and is several
+	// times slower per segment.
+	ExactReceptionMath bool
 }
 
 // DefaultParams returns the calibrated transceiver constants used for the

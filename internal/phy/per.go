@@ -18,14 +18,25 @@ func qfunc(x float64) float64 { return 0.5 * math.Erfc(x/math.Sqrt2) }
 // SINR → Eb/N0 (bandwidth/bit-rate conversion), an effective Viterbi
 // coding gain per code rate, and the Gray-coded modulation BER formula.
 // Implementation loss is applied by the caller via Params.
+//
+// This is the exact (Erfc-based) reference path. Radios on the hot path
+// use the precomputed tables of tables.go instead, which are built from
+// this function and validated against it by a bounded-error property
+// test.
 func BitErrorRate(r Rate, sinrDB float64) float64 {
 	if math.IsInf(sinrDB, -1) {
 		return 0.5
 	}
 	ebn0DB := sinrDB + 10*math.Log10(channelBandwidthMHz/r.Mbps) + r.codingGainDB
-	g := radio.FromDB(ebn0DB)
+	return berLinear(r.Mod, radio.FromDB(ebn0DB))
+}
+
+// berLinear is the Gray-coded modulation BER formula over linear
+// effective Eb/N0 (bandwidth conversion, coding gain and implementation
+// loss already applied by the caller).
+func berLinear(mod Modulation, g float64) float64 {
 	var ber float64
-	switch r.Mod {
+	switch mod {
 	case BPSK, QPSK:
 		ber = qfunc(math.Sqrt(2 * g))
 	case QAM16:

@@ -84,6 +84,20 @@ type Radio struct {
 	noiseMW float64
 	csMW    float64
 
+	// Linear-domain reception constants, folded once at construction so
+	// the per-segment hot path is a multiply-divide plus a table lookup
+	// with no dB round trip (see tables.go). sensitivityMW mirrors
+	// SensitivityDBm; ebn0K[rate] converts the locked frame's linear
+	// SINR to the rate's effective Eb/N0 (bandwidth-per-bit-rate ×
+	// coding gain ÷ implementation loss); lockK does the same for the
+	// BPSK preamble block with the preamble offset folded in, and
+	// captureK additionally derates by the capture margin.
+	sensitivityMW float64
+	ebn0K         [len(rateTable)]float64
+	lockK         float64
+	captureK      float64
+	exact         bool
+
 	transmitting bool
 	txFrame      frame.Frame
 
@@ -119,7 +133,7 @@ type RadioStats struct {
 // NewRadio creates a radio for node id. handler must be set with
 // SetHandler before any traffic flows; channel is the medium.
 func NewRadio(id int, params Params, sched *sim.Scheduler, rng *sim.RNG, channel Channel) *Radio {
-	return &Radio{
+	r := &Radio{
 		id:      id,
 		params:  params,
 		sched:   sched,
@@ -128,6 +142,29 @@ func NewRadio(id int, params Params, sched *sim.Scheduler, rng *sim.RNG, channel
 		noiseMW: radio.DBmToMW(params.NoiseFloorDBm),
 		csMW:    radio.DBmToMW(params.CSThresholdDBm),
 	}
+	r.deriveLinear()
+	return r
+}
+
+// deriveLinear folds every dB-domain reception constant into the linear
+// multipliers the hot path uses. The algebra: with SINR already linear,
+//
+//	Eb/N0 = SINR · (BW/bitrate) · 10^((codingGain − implLoss)/10)
+//
+// so the whole chain MWToDBm → +offsets → FromDB that the exact path
+// performs per segment collapses to one constant per (radio, rate).
+func (r *Radio) deriveLinear() {
+	p := r.params
+	r.sensitivityMW = radio.DBmToMW(p.SensitivityDBm)
+	for _, rt := range rateTable {
+		r.ebn0K[rt.ID] = channelBandwidthMHz / rt.Mbps *
+			radio.FromDB(rt.codingGainDB-p.ImplementationLossDB)
+	}
+	pre := rateTable[Rate6Mbps]
+	r.lockK = channelBandwidthMHz / pre.Mbps *
+		radio.FromDB(pre.codingGainDB-p.ImplementationLossDB-p.PreambleOffsetDB)
+	r.captureK = r.lockK * radio.FromDB(-p.CaptureMarginDB)
+	r.exact = p.ExactReceptionMath
 }
 
 // ID returns the node ID this radio belongs to.
@@ -245,16 +282,21 @@ func (r *Radio) tryCapture(tx *Transmission, powerMW float64, now sim.Time) {
 	if r.params.CaptureMarginDB <= 0 {
 		return // capture disabled
 	}
-	if radio.MWToDBm(powerMW) < r.params.SensitivityDBm {
+	if powerMW < r.sensitivityMW {
 		return
 	}
 	interf := r.totalMW - powerMW
 	if interf < 0 {
 		interf = 0
 	}
-	sinr := radio.SINR(powerMW, r.noiseMW, interf) - r.params.ImplementationLossDB
-	need := sinr - r.params.CaptureMarginDB
-	if r.rng.Float64() >= LockProbability(need, r.params.PreambleOffsetDB) {
+	var pCapture float64
+	if r.exact {
+		sinr := radio.SINR(powerMW, r.noiseMW, interf) - r.params.ImplementationLossDB
+		pCapture = LockProbability(sinr-r.params.CaptureMarginDB, r.params.PreambleOffsetDB)
+	} else {
+		pCapture = lockProbLinear(powerMW / (r.noiseMW + interf) * r.captureK)
+	}
+	if r.rng.Float64() >= pCapture {
 		return
 	}
 	old, oldMW := r.locked, r.lockedMW
@@ -289,7 +331,12 @@ func (r *Radio) SignalEnd(tx *Transmission) {
 		r.active = r.active[:len(r.active)-1]
 		r.totalMW -= powerMW
 	}
-	if r.totalMW < 0 {
+	if len(r.active) == 0 {
+		// An empty active set means exactly zero in-air power: reset the
+		// incremental accumulator so add/subtract float drift cannot
+		// survive a quiet period and grow without bound.
+		r.totalMW = 0
+	} else if r.totalMW < 0 {
 		r.totalMW = 0
 	}
 	if r.locked == tx {
@@ -301,7 +348,7 @@ func (r *Radio) SignalEnd(tx *Transmission) {
 // tryLock attempts preamble acquisition on tx. Acquisition is
 // probabilistic: a short BPSK block must decode at the instantaneous SINR.
 func (r *Radio) tryLock(tx *Transmission, powerMW float64, now sim.Time) {
-	if radio.MWToDBm(powerMW) < r.params.SensitivityDBm {
+	if powerMW < r.sensitivityMW {
 		r.stats.Missed++
 		return
 	}
@@ -309,8 +356,14 @@ func (r *Radio) tryLock(tx *Transmission, powerMW float64, now sim.Time) {
 	if interf < 0 {
 		interf = 0
 	}
-	sinr := radio.SINR(powerMW, r.noiseMW, interf) - r.params.ImplementationLossDB
-	if r.rng.Float64() >= LockProbability(sinr, r.params.PreambleOffsetDB) {
+	var pLock float64
+	if r.exact {
+		sinr := radio.SINR(powerMW, r.noiseMW, interf) - r.params.ImplementationLossDB
+		pLock = LockProbability(sinr, r.params.PreambleOffsetDB)
+	} else {
+		pLock = lockProbLinear(powerMW / (r.noiseMW + interf) * r.lockK)
+	}
+	if r.rng.Float64() >= pLock {
 		r.stats.Missed++
 		return
 	}
@@ -321,7 +374,9 @@ func (r *Radio) tryLock(tx *Transmission, powerMW float64, now sim.Time) {
 }
 
 // closeSegment integrates the bit-success probability of the locked frame
-// over [segStart, now) at the current interference level.
+// over [segStart, now) at the current interference level. On the table
+// path this is one divide, one multiply and a table interpolation — no
+// transcendental, no dB round trip.
 func (r *Radio) closeSegment(now sim.Time) {
 	dur := now - r.segStart
 	r.segStart = now
@@ -332,10 +387,14 @@ func (r *Radio) closeSegment(now sim.Time) {
 	if interf < 0 {
 		interf = 0
 	}
-	sinr := radio.SINR(r.lockedMW, r.noiseMW, interf) - r.params.ImplementationLossDB
-	ber := BitErrorRate(r.locked.Rate, sinr)
 	bits := float64(dur) * r.locked.Rate.Mbps / 1000 // ns × Mb/s = 1e-3 bits
-	r.lockLogSucc += logSuccess(ber, bits)
+	if r.exact {
+		sinr := radio.SINR(r.lockedMW, r.noiseMW, interf) - r.params.ImplementationLossDB
+		r.lockLogSucc += logSuccess(BitErrorRate(r.locked.Rate, sinr), bits)
+		return
+	}
+	g := r.lockedMW / (r.noiseMW + interf) * r.ebn0K[r.locked.Rate.ID]
+	r.lockLogSucc += bits * lnBitSuccess(r.locked.Rate.Mod, g)
 }
 
 // finishReception resolves the decode of a completed locked frame.

@@ -17,6 +17,12 @@ import (
 	"repro/internal/sim"
 )
 
+// The dB conversions below cost a Pow or Log10 each, so the simulation
+// hot path avoids them per segment: phy radios fold every dB-domain
+// constant into linear multipliers at construction (phy tables.go) and
+// keep per-pair gains in mW end to end. These helpers are for
+// construction, cold paths, and human-facing output.
+
 // DBmToMW converts dBm to milliwatts.
 func DBmToMW(dbm float64) float64 { return math.Pow(10, dbm/10) }
 

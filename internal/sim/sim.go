@@ -117,7 +117,7 @@ func (t *Timer) When() Time {
 // The zero value is ready to use.
 type Scheduler struct {
 	now   Time
-	queue []event // binary min-heap over (at, seq)
+	queue []event // 4-ary min-heap over (at, seq)
 
 	// Cancellation table for timer-backed events, with a free-list so
 	// fired events recycle their slots instead of growing the table.
@@ -170,12 +170,32 @@ func (s *Scheduler) PostAfter(d Time, h EventHandler, arg any) {
 // returns a cancellation handle. Only the Timer itself is allocated; the
 // event is stored by value and its cancellation slot is recycled.
 func (s *Scheduler) AtHandler(t Time, h EventHandler, arg any) *Timer {
+	tm := new(Timer)
+	s.ResetAt(tm, t, h, arg)
+	return tm
+}
+
+// ResetAt re-arms the caller-owned timer tm to run h.HandleEvent(arg) at
+// absolute virtual time t. It is the allocation-free form of AtHandler:
+// components that re-arm a fixed timer per frame (DIFS, backoff, ACK
+// wait) embed a Timer value and pass its address here, so steady-state
+// re-arming touches no allocator. tm must not be active; a previously
+// fired, stopped, or zero-valued Timer is ready for reuse.
+func (s *Scheduler) ResetAt(tm *Timer, t Time, h EventHandler, arg any) {
 	s.checkNotPast(t)
 	slot := s.allocSlot()
-	tm := &Timer{s: s, slot: slot, gen: s.slots[slot].gen, at: t}
+	*tm = Timer{s: s, slot: slot, gen: s.slots[slot].gen, at: t}
 	s.push(event{at: t, seq: s.nextSeq, target: h, arg: arg, slot: slot})
 	s.nextSeq++
-	return tm
+}
+
+// ResetAfter re-arms the caller-owned timer tm to run h.HandleEvent(arg)
+// d after the current time.
+func (s *Scheduler) ResetAfter(tm *Timer, d Time, h EventHandler, arg any) {
+	if d < 0 {
+		d = 0
+	}
+	s.ResetAt(tm, s.now+d, h, arg)
 }
 
 // AfterHandler schedules h.HandleEvent(arg) d after the current time and
@@ -264,87 +284,110 @@ func (s *Scheduler) freeSlot(slot int32) {
 // Heap. Hand-rolled over []event rather than container/heap: the
 // interface-based API would box every by-value event on Push/Pop, which
 // is exactly the allocation this representation exists to avoid.
+//
+// The heap is 4-ary and the sifts are hole-based. Events are ~7 words
+// (two of them interfaces, so every copy pays write-barrier
+// bookkeeping); the dominant steady-state cost is therefore event
+// copies, not comparisons. A 4-ary layout halves the tree depth of the
+// binary heap, and moving elements into a hole instead of swapping
+// does one copy per level instead of three. Pop order cannot change:
+// (at, seq) keys are unique, so every valid min-heap drains in exactly
+// the same total order — this is a representation choice, invisible to
+// golden traces.
 
-func (s *Scheduler) less(i, j int) bool {
-	a, b := &s.queue[i], &s.queue[j]
+// heapArity is the fan-out of the agenda heap.
+const heapArity = 4
+
+// eventLess orders events by (deadline, scheduling sequence).
+func eventLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
 }
 
-func (s *Scheduler) swap(i, j int) {
-	q := s.queue
-	q[i], q[j] = q[j], q[i]
-	if q[i].slot >= 0 {
-		s.slots[q[i].slot].heapIndex = int32(i)
-	}
-	if q[j].slot >= 0 {
-		s.slots[q[j].slot].heapIndex = int32(j)
+// place writes ev at heap index i and repoints its cancellation slot.
+func (s *Scheduler) place(i int, ev event) {
+	s.queue[i] = ev
+	if ev.slot >= 0 {
+		s.slots[ev.slot].heapIndex = int32(i)
 	}
 }
 
 func (s *Scheduler) push(ev event) {
-	s.queue = append(s.queue, ev)
-	i := len(s.queue) - 1
-	if ev.slot >= 0 {
-		s.slots[ev.slot].heapIndex = int32(i)
-	}
-	s.siftUp(i)
+	s.queue = append(s.queue, event{}) // open a hole at the tail
+	s.siftUp(len(s.queue)-1, ev)
 }
 
-func (s *Scheduler) siftUp(i int) {
+// siftUp moves the hole at index i rootward until ev fits, then places
+// ev into it. The caller must have detached s.queue[i] already (it is a
+// hole: its previous contents are dead or duplicated elsewhere).
+func (s *Scheduler) siftUp(i int, ev event) {
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.less(i, parent) {
+		parent := (i - 1) / heapArity
+		if !eventLess(&ev, &s.queue[parent]) {
 			break
 		}
-		s.swap(i, parent)
+		s.place(i, s.queue[parent])
 		i = parent
 	}
+	s.place(i, ev)
 }
 
-func (s *Scheduler) siftDown(i int) {
+// siftDown moves the hole at index i leafward until ev fits, then
+// places ev into it.
+func (s *Scheduler) siftDown(i int, ev event) {
 	n := len(s.queue)
 	for {
-		left := 2*i + 1
-		if left >= n {
-			return
+		first := heapArity*i + 1
+		if first >= n {
+			break
 		}
-		least := left
-		if right := left + 1; right < n && s.less(right, left) {
-			least = right
+		least := first
+		last := first + heapArity
+		if last > n {
+			last = n
 		}
-		if !s.less(least, i) {
-			return
+		for c := first + 1; c < last; c++ {
+			if eventLess(&s.queue[c], &s.queue[least]) {
+				least = c
+			}
 		}
-		s.swap(i, least)
+		if !eventLess(&s.queue[least], &ev) {
+			break
+		}
+		s.place(i, s.queue[least])
 		i = least
 	}
+	s.place(i, ev)
 }
 
 // popRoot removes the minimum event, zeroing the vacated tail entry so
 // the heap's spare capacity retains no target/arg references.
 func (s *Scheduler) popRoot() {
 	n := len(s.queue) - 1
-	s.swap(0, n)
+	tail := s.queue[n]
 	s.queue[n] = event{}
 	s.queue = s.queue[:n]
 	if n > 0 {
-		s.siftDown(0)
+		s.siftDown(0, tail)
 	}
 }
 
-// removeAt removes the event at heap index i (timer cancellation).
+// removeAt removes the event at heap index i (timer cancellation). The
+// displaced tail event may belong on either side of i, so it is sifted
+// down first and, if it did not move, up.
 func (s *Scheduler) removeAt(i int) {
 	n := len(s.queue) - 1
-	if i != n {
-		s.swap(i, n)
-	}
+	tail := s.queue[n]
 	s.queue[n] = event{}
 	s.queue = s.queue[:n]
-	if i != n {
-		s.siftDown(i)
-		s.siftUp(i)
+	if i == n {
+		return
+	}
+	s.siftDown(i, tail)
+	if s.queue[i].seq == tail.seq {
+		// tail settled at i; it may still be smaller than its parent.
+		s.siftUp(i, tail)
 	}
 }
