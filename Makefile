@@ -12,12 +12,14 @@
 #   make bench-json machine-readable scaling benchmarks → BENCH_<sha>.json
 #   make profile    CPU+heap pprof of the scaling benchmarks → cpu.pprof/mem.pprof
 #   make bench-smoke  one-iteration steady-state benchmark (compile-level perf canary)
+#   make docs-check documentation gate: gofmt diff, vet, package-comment
+#                   guard over internal/, markdown link check
 #   make ci         the full gate: vet + race short tier + alloc gate + golden tier
-#                   + bench smoke
+#                   + bench smoke + docs check
 
 GO ?= go
 
-.PHONY: build test test-full race bench check vet golden alloc-check bench-json profile bench-smoke ci
+.PHONY: build test test-full race bench check vet golden alloc-check bench-json profile bench-smoke docs-check ci
 
 build:
 	$(GO) build ./...
@@ -43,7 +45,7 @@ golden:
 	$(GO) test -run 'TestGolden|TestSparseDense' ./internal/experiments
 
 alloc-check:
-	$(GO) test -count=1 -run 'ZeroAllocs' -v ./internal/medium
+	$(GO) test -count=1 -run 'ZeroAllocs' -v ./internal/medium ./internal/traffic
 
 bench-json:
 	$(GO) run ./cmd/cmapbench -benchjson
@@ -59,8 +61,18 @@ profile:
 bench-smoke:
 	$(GO) test -run XXX -bench 'SaturatedSteadyState' -benchtime 1x ./internal/experiments
 
+# Documentation gate: formatting drift, vet, a package comment on every
+# internal/ package (doc.go), and no dead relative links in the
+# top-level markdown.
+docs-check:
+	@fmtdiff="$$(gofmt -l .)"; if [ -n "$$fmtdiff" ]; then \
+		echo "gofmt drift in:"; echo "$$fmtdiff"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/docscheck README.md ARCHITECTURE.md ROADMAP.md examples/README.md
+
 ci: build vet
 	$(GO) test -race -short ./...
 	$(MAKE) alloc-check
 	$(MAKE) golden
 	$(MAKE) bench-smoke
+	$(MAKE) docs-check

@@ -4,10 +4,19 @@
 //
 // Usage:
 //
-//	cmapbench [-seed N] [-scale quick|mid|paper] [-only fig12,mesh,...] [-parallel W] [-trials N] [-progress]
+//	cmapbench [-seed N] [-scale quick|mid|paper] [-only fig12,mesh,loadsweep,...] [-parallel W] [-trials N] [-progress]
+//	          [-traffic cbr|poisson|onoff] [-load 0.5,1,2,4,8]
 //
 // "paper" runs the full 100-second, 50-topology methodology (slow);
 // "mid" is the EXPERIMENTS.md scale (30 s runs); "quick" is CI-sized.
+//
+// -traffic replaces the saturated senders of every flow-based figure
+// (calibration, the pair figures, interferers, APs, sender sweep,
+// bit-rates) with the given arrival process at the first -load value
+// Mb/s per flow; the §5.7 mesh keeps its phase-controlled batch
+// workload and says so. The load-sweep figure (-only loadsweep) always
+// runs the whole -load list, Poisson by default, on exposed and hidden
+// pairs.
 //
 // Trials fan out across -parallel worker goroutines (default: all CPUs);
 // the numbers are bit-identical at every worker count, so -parallel only
@@ -29,11 +38,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -43,12 +54,29 @@ import (
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topo"
+	"repro/internal/traffic"
 )
+
+// parseLoads parses the comma-separated -load list of Mb/s values.
+func parseLoads(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		// !(v > 0) also rejects NaN, which v <= 0 would let through.
+		if err != nil || !(v > 0) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("bad -load entry %q (want positive finite Mb/s values)", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 func main() {
 	seed := flag.Uint64("seed", 1, "master seed (same seed → identical numbers)")
 	scale := flag.String("scale", "mid", "quick | mid | paper")
-	only := flag.String("only", "", "comma-separated subset: census,calibration,fig12,fig13,fig14,fig15,fig16,fig17,fig19,fig20,mesh")
+	only := flag.String("only", "", "comma-separated subset: census,calibration,fig12,fig13,fig14,fig15,fig16,fig17,fig19,fig20,mesh,loadsweep")
+	trafficKind := flag.String("traffic", "", "arrival model for every figure: saturated | cbr | poisson | onoff (default saturated)")
+	loadList := flag.String("load", "0.5,1,2,4,8", "per-flow offered loads in Mb/s: the sweep uses the list, other figures the first value")
 	parallel := flag.Int("parallel", 0, "worker goroutines per experiment (0 = all CPUs, 1 = serial)")
 	trials := flag.Int("trials", 0, "override per-experiment trial counts (Pairs/Triples/APRuns/Meshes); 0 keeps the scale's defaults")
 	progress := flag.Bool("progress", false, "report per-experiment trial progress on stderr")
@@ -126,6 +154,26 @@ func main() {
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}
+		}
+	}
+
+	loads, err := parseLoads(*loadList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *trafficKind != "" {
+		kind, err := traffic.ParseKind(*trafficKind)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if kind != traffic.Saturated {
+			// 1400-byte payloads: both MAC defaults. WithOfferedMbps makes
+			// -load mean long-run offered load for duty-cycled kinds too.
+			opt.Traffic = traffic.Spec{Kind: kind}.WithOfferedMbps(loads[0], 1400)
+			fmt.Printf("traffic: %v arrivals at %.2f Mb/s offered per flow\n",
+				kind, opt.Traffic.OfferedMbps(1400))
 		}
 	}
 
@@ -242,9 +290,27 @@ func main() {
 
 	if sel("mesh") {
 		step("§5.7 — content-dissemination mesh", func() {
-			res := experiments.Mesh(tb, opt)
+			if opt.Traffic.Kind != traffic.Saturated {
+				// The mesh runs the paper's phase-controlled batch
+				// dissemination, not per-flow arrival processes; say so
+				// rather than mislabel saturated numbers as unsaturated.
+				fmt.Println("(note: -traffic does not apply to the §5.7 batch workload; mesh runs saturated batches)")
+			}
+			meshOpt := opt
+			meshOpt.Traffic = traffic.Saturate()
+			res := experiments.Mesh(tb, meshOpt)
 			fmt.Printf("CMAP %.2f Mb/s vs CSMA %.2f Mb/s → gain %.2fx (paper 1.52x)\n",
 				res.CMAP.Mean(), res.CSMA.Mean(), res.Gain())
+		})
+	}
+
+	if sel("loadsweep") {
+		step("Load sweep — goodput/latency vs offered load (beyond the paper)", func() {
+			for _, class := range []string{"exposed", "hidden"} {
+				fmt.Print(experiments.OfferedLoad(tb, class, loads, opt).Format())
+			}
+			fmt.Println("(expected: goodput tracks load below saturation; past the knee CMAP" +
+				" out-delivers carrier sense on exposed pairs and matches it on hidden ones)")
 		})
 	}
 }

@@ -4,13 +4,23 @@
 //
 // Usage:
 //
-//	cmapsim [-seed N] [-topology exposed|inrange|hidden] [-protocol cmap|cmap1|dcf|dcf-nocs|dcf-nocs-noack] [-duration 30s] [-index 0] [-trials 1] [-parallel 0]
+//	cmapsim [-seed N] [-topology exposed|inrange|hidden] [-protocol cmap|cmap1|dcf|dcf-nocs|dcf-nocs-noack]
+//	        [-duration 30s] [-index 0] [-trace N] [-trials 1] [-parallel 0]
+//	        [-traffic cbr|poisson|onoff] [-load 2.0] [-churn 500ms]
 //	cmapsim -scenario gridcity|clusters|disk [-nodes 200] ...
 //
 // With -trials above one, the same topology is replayed under
 // independently seeded channel/protocol randomness and the per-trial
 // aggregates are summarised; trials fan out across -parallel worker
 // goroutines (default all CPUs) with bit-identical results at any count.
+//
+// -traffic replaces the default saturated (always-backlogged) senders
+// with an arrival process at -load Mb/s of payload per flow; the
+// per-flow report then includes tail drops and per-packet delivery
+// latency percentiles measured past the warm-up. -churn makes flows
+// alternate between live sessions and silent gaps of the given mean
+// duration. Left empty, -traffic falls back to the scenario's suggested
+// workload (saturated for all built-in layouts).
 //
 // -scenario swaps the paper's office floor for one of the large-scale
 // generated layouts (sized by -nodes) and picks the experiment pair with
@@ -31,18 +41,23 @@ import (
 	"repro/internal/stats"
 	"repro/internal/topo"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 )
 
-// trialResult is one replication's measured goodput.
+// trialResult is one replication's measured goodput (plus arrival-mode
+// latency and drop counters when a traffic spec is active).
 type trialResult struct {
 	flows [2]float64
 	agg   float64
+	lats  [2]*stats.Latency
+	drops uint64
 }
 
 // runTrial replays the scenario once from the given seed. detail turns on
 // the verbose per-flow counter report and optional tracing (single-trial
-// mode only).
-func runTrial(tb *topo.Testbed, pair topo.LinkPair, protocol string, d sim.Time, seed uint64, detail bool, traceN int) trialResult {
+// mode only). A non-saturated spec replaces the backlogged senders with
+// arrival processes and measures per-packet latency past the warm-up.
+func runTrial(tb *topo.Testbed, pair topo.LinkPair, protocol string, spec traffic.Spec, d sim.Time, seed uint64, detail bool, traceN int) trialResult {
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(seed)
 	m := tb.Build(sched, rng.Stream(1))
@@ -55,6 +70,33 @@ func runTrial(tb *topo.Testbed, pair topo.LinkPair, protocol string, d sim.Time,
 	var tracer *trace.Tracer
 	if detail && traceN > 0 {
 		tracer = trace.New(traceN)
+	}
+	res := trialResult{}
+	var sources [2]*traffic.Source
+
+	// drive points flow i's workload at the sender: saturated directly,
+	// arrival processes through a traffic.Source with latency mapping at
+	// the receiver.
+	drive := func(i int, sat func(), q traffic.Enqueuer, setDeliver func(func(int, uint32, sim.Time)), window int) {
+		if spec.Kind == traffic.Saturated {
+			sat()
+			return
+		}
+		f := flows[i]
+		res.lats[i] = &stats.Latency{W: stats.Window{Start: warm, End: d}}
+		src := traffic.NewSource(sched, rng.Stream(uint64(300+i)), spec, q, f.Dst)
+		src.EnableLatency(window)
+		sources[i] = src
+		lat := res.lats[i]
+		setDeliver(func(from int, seq uint32, now sim.Time) {
+			if from != f.Src {
+				return
+			}
+			if at, ok := src.ArrivalTime(seq); ok {
+				lat.Record(now, now-at)
+			}
+		})
+		src.Start()
 	}
 
 	switch protocol {
@@ -72,7 +114,10 @@ func runTrial(tb *topo.Testbed, pair topo.LinkPair, protocol string, d sim.Time,
 				m.Radio(f.Src).SetHandler(tracer.Wrap(f.Src, senders[i], sched))
 				m.Radio(f.Dst).SetHandler(tracer.Wrap(f.Dst, rx, sched))
 			}
-			senders[i].SetSaturated(f.Dst)
+			tx := senders[i]
+			drive(i, func() { tx.SetSaturated(f.Dst) }, tx,
+				func(fn func(int, uint32, sim.Time)) { rx.OnDeliver = fn },
+				cfg.Nwindow*cfg.Nvpkt)
 		}
 		sched.Run(d)
 		if detail {
@@ -92,7 +137,9 @@ func runTrial(tb *topo.Testbed, pair topo.LinkPair, protocol string, d sim.Time,
 			senders[i] = csma.New(f.Src, cfg, m, rng.Stream(uint64(100+i)))
 			rx := csma.New(f.Dst, cfg, m, rng.Stream(uint64(200+i)))
 			rx.Meter = meters[i]
-			senders[i].SetSaturated(f.Dst)
+			tx := senders[i]
+			drive(i, func() { tx.SetSaturated(f.Dst) }, tx,
+				func(fn func(int, uint32, sim.Time)) { rx.OnDeliver = fn }, 16)
 		}
 		sched.Run(d)
 		if detail {
@@ -105,8 +152,20 @@ func runTrial(tb *topo.Testbed, pair topo.LinkPair, protocol string, d sim.Time,
 	default:
 		panic(fmt.Sprintf("unvalidated protocol %q", protocol))
 	}
-	res := trialResult{flows: [2]float64{meters[0].Mbps(), meters[1].Mbps()}}
+	res.flows = [2]float64{meters[0].Mbps(), meters[1].Mbps()}
 	res.agg = res.flows[0] + res.flows[1]
+	for i, src := range sources {
+		if src == nil {
+			continue
+		}
+		st := src.Stats()
+		res.drops += st.Dropped
+		if detail {
+			fmt.Printf("flow %d→%d arrivals: offered=%d accepted=%d dropped=%d  latency p50=%.2fms p95=%.2fms p99=%.2fms (n=%d)\n",
+				flows[i].Src, flows[i].Dst, st.Offered, st.Accepted, st.Dropped,
+				res.lats[i].P50(), res.lats[i].P95(), res.lats[i].P99(), res.lats[i].N())
+		}
+	}
 	if tracer != nil {
 		fmt.Printf("\nlast %d link-layer events of flow 0's endpoints:\n%s", tracer.Len(), tracer.Dump())
 	}
@@ -116,14 +175,16 @@ func runTrial(tb *topo.Testbed, pair topo.LinkPair, protocol string, d sim.Time,
 // buildTestbed realises the chosen layout and, for the generated
 // scenarios, runs the link-measurement pass over it so the Figure 11
 // topology pickers work on top. The pass is O(n²) — cmapsim sizes are
-// CLI-scale, not the 1000-node benchmark regime.
-func buildTestbed(scenario string, nodes int, seed uint64) (*topo.Testbed, error) {
+// CLI-scale, not the 1000-node benchmark regime. The second result is
+// the scenario's suggested workload (saturated unless the layout says
+// otherwise), which the -traffic flag overrides.
+func buildTestbed(scenario string, nodes int, seed uint64) (*topo.Testbed, traffic.Spec, error) {
 	switch scenario {
 	case "testbed":
 		if nodes <= 0 {
 			nodes = 50
 		}
-		return topo.NewTestbed(nodes, seed), nil
+		return topo.NewTestbed(nodes, seed), traffic.Saturate(), nil
 	case "gridcity":
 		// Blocks of 300 m keep same-block links inside the strong-signal
 		// range of the urban model, so potential transmission links exist.
@@ -135,7 +196,8 @@ func buildTestbed(scenario string, nodes int, seed uint64) (*topo.Testbed, error
 		for side*side*perBlock < nodes {
 			side++
 		}
-		return topo.GridCity(side, side, perBlock, 300, seed).Testbed(), nil
+		sc := topo.GridCity(side, side, perBlock, 300, seed)
+		return sc.Testbed(), sc.Traffic, nil
 	case "clusters":
 		// Tight hotspot cells a block apart: in-cell links are strong,
 		// neighbouring cells interact only through carrier sense.
@@ -147,14 +209,16 @@ func buildTestbed(scenario string, nodes int, seed uint64) (*topo.Testbed, error
 		if cells < 1 {
 			cells = 1
 		}
-		return topo.ClusteredAPs(cells, clients, 400, 12, seed).Testbed(), nil
+		sc := topo.ClusteredAPs(cells, clients, 400, 12, seed)
+		return sc.Testbed(), sc.Traffic, nil
 	case "disk":
 		if nodes <= 0 {
 			nodes = 200
 		}
-		return topo.UniformDisk(nodes, 200, seed).Testbed(), nil
+		sc := topo.UniformDisk(nodes, 200, seed)
+		return sc.Testbed(), sc.Traffic, nil
 	}
-	return nil, fmt.Errorf("unknown scenario %q", scenario)
+	return nil, traffic.Spec{}, fmt.Errorf("unknown scenario %q", scenario)
 }
 
 func main() {
@@ -168,6 +232,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines for -trials (0 = all CPUs, 1 = serial)")
 	scenario := flag.String("scenario", "testbed", "testbed | gridcity | clusters | disk")
 	nodes := flag.Int("nodes", 0, "scenario size (0 = scenario default; testbed default 50)")
+	trafficKind := flag.String("traffic", "", "arrival model: saturated | cbr | poisson | onoff (empty = scenario default)")
+	load := flag.Float64("load", 2.0, "per-flow offered load in Mb/s of payload (non-saturated -traffic only)")
+	churn := flag.Duration("churn", 0, "mean session up/down duration for flow churn (0 = no churn)")
 	flag.Parse()
 
 	switch *protocol {
@@ -177,10 +244,40 @@ func main() {
 		os.Exit(2)
 	}
 
-	tb, err := buildTestbed(*scenario, *nodes, *seed)
+	tb, spec, err := buildTestbed(*scenario, *nodes, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *trafficKind != "" {
+		kind, err := traffic.ParseKind(*trafficKind)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		spec.Kind = kind
+	}
+	if spec.Kind != traffic.Saturated {
+		// !(load > 0) also rejects NaN. Validate here so a bad flag is a
+		// CLI error, not a panic from inside traffic.NewSource.
+		if !(*load > 0) || *load > 1e6 {
+			fmt.Fprintf(os.Stderr, "-load %v: want a positive Mb/s value\n", *load)
+			os.Exit(2)
+		}
+		if *churn > 0 {
+			spec.UpMean = sim.Duration(*churn)
+			spec.DownMean = sim.Duration(*churn)
+		}
+		// The -load flag (or its default) sets the long-run offered rate
+		// unless the scenario suggested a workload with its own rate and
+		// the user did not override it.
+		loadSet := false
+		flag.Visit(func(f *flag.Flag) { loadSet = loadSet || f.Name == "load" })
+		if loadSet || spec.PacketsPerSec <= 0 {
+			spec = spec.WithOfferedMbps(*load, 1400)
+		}
+		fmt.Printf("traffic: %v at %.2f Mb/s offered per flow (%.0f pkt/s peak)\n",
+			spec.Kind, spec.OfferedMbps(1400), spec.PacketsPerSec)
 	}
 	rng := sim.NewRNG(*seed * 31)
 	var pairs []topo.LinkPair
@@ -211,7 +308,7 @@ func main() {
 	if *trials <= 1 {
 		// The original single-run microscope: channel randomness comes
 		// from the same master-seed stream as the topology sampling.
-		res := runTrial(tb, pair, *protocol, d, rng.Uint64(), true, *traceN)
+		res := runTrial(tb, pair, *protocol, spec, d, rng.Uint64(), true, *traceN)
 		fmt.Printf("aggregate: %.2f Mb/s\n", res.agg)
 		return
 	}
@@ -220,16 +317,25 @@ func main() {
 	// seed and the trial index, so any -parallel value reproduces the
 	// same numbers in the same order.
 	results := runner.Map(runner.Config{Workers: *parallel}, *trials, func(i int) trialResult {
-		return runTrial(tb, pair, *protocol, d, *seed+uint64(i)*0x9e37+1, false, 0)
+		return runTrial(tb, pair, *protocol, spec, d, *seed+uint64(i)*0x9e37+1, false, 0)
 	})
 	var agg, a, b stats.Dist
+	var pooled stats.Latency
+	var drops uint64
 	for i, r := range results {
 		fmt.Printf("trial %2d: flow1 %.2f  flow2 %.2f  aggregate %.2f Mb/s\n", i, r.flows[0], r.flows[1], r.agg)
 		a.Add(r.flows[0])
 		b.Add(r.flows[1])
 		agg.Add(r.agg)
+		pooled.Merge(r.lats[0])
+		pooled.Merge(r.lats[1])
+		drops += r.drops
 	}
 	fmt.Printf("aggregate over %d trials: mean %.2f  median %.2f  std %.2f  min %.2f  max %.2f Mb/s\n",
 		*trials, agg.Mean(), agg.Median(), agg.Std(), agg.Min(), agg.Max())
 	fmt.Printf("flow1 mean %.2f Mb/s  flow2 mean %.2f Mb/s\n", a.Mean(), b.Mean())
+	if spec.Kind != traffic.Saturated {
+		fmt.Printf("latency pooled over trials: p50 %.2f  p95 %.2f  p99 %.2f ms (n=%d); tail drops %d\n",
+			pooled.P50(), pooled.P95(), pooled.P99(), pooled.N(), drops)
+	}
 }

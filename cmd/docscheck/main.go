@@ -1,0 +1,125 @@
+// Command docscheck is the documentation gate behind `make docs-check`:
+// it fails the build when the docs drift from the code.
+//
+// Two checks run:
+//
+//   - Package comments: every package under internal/ (and the root
+//     package) must carry a Go package comment — the godoc contract
+//     this repo maintains per package in doc.go files.
+//   - Markdown links: every relative link target in the given markdown
+//     files must exist on disk, so README/ARCHITECTURE/ROADMAP cannot
+//     reference files that were renamed or deleted. External http(s)
+//     links are not fetched (CI must not depend on the network).
+//
+// Usage:
+//
+//	docscheck [-root .] [markdown files...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	fail := false
+	report := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		fail = true
+	}
+
+	checkPackageComments(*root, report)
+	for _, md := range flag.Args() {
+		checkMarkdownLinks(*root, md, report)
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: package comments and markdown links OK\n")
+}
+
+// checkPackageComments walks internal/ and the repo root and requires a
+// package comment in every non-test package.
+func checkPackageComments(root string, report func(string, ...any)) {
+	var dirs []string
+	dirs = append(dirs, root)
+	internal := filepath.Join(root, "internal")
+	entries, err := os.ReadDir(internal)
+	if err != nil {
+		report("docscheck: reading %s: %v", internal, err)
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join(internal, e.Name()))
+		}
+	}
+	for _, dir := range dirs {
+		if !hasPackageComment(dir, report) {
+			report("docscheck: package in %s has no package comment (add a doc.go)", dir)
+		}
+	}
+}
+
+// hasPackageComment reports whether any non-test Go file in dir carries
+// a package comment.
+func hasPackageComment(dir string, report func(string, ...any)) bool {
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		return true // not a Go package directory
+	}
+	fset := token.NewFileSet()
+	sawGo := false
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		sawGo = true
+		parsed, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			report("docscheck: parsing %s: %v", f, err)
+			continue
+		}
+		if parsed.Doc != nil && strings.TrimSpace(parsed.Doc.Text()) != "" {
+			return true
+		}
+	}
+	return !sawGo
+}
+
+// mdLink matches inline markdown link targets: [text](target).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkMarkdownLinks verifies every relative link in md resolves to an
+// existing file or directory under root.
+func checkMarkdownLinks(root, md string, report func(string, ...any)) {
+	data, err := os.ReadFile(filepath.Join(root, md))
+	if err != nil {
+		report("docscheck: %v", err)
+		return
+	}
+	for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+			strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+			continue
+		}
+		target = strings.SplitN(target, "#", 2)[0]
+		if target == "" {
+			continue
+		}
+		resolved := filepath.Join(root, filepath.Dir(md), target)
+		if _, err := os.Stat(resolved); err != nil {
+			report("docscheck: %s links to %q which does not exist", md, m[1])
+		}
+	}
+}

@@ -1,25 +1,3 @@
-// Package core implements CMAP, the paper's contribution: a reactive
-// wireless link layer that learns which concurrent transmissions conflict
-// from empirical packet loss and uses that knowledge — rather than
-// carrier sense — to decide when to transmit.
-//
-// Each node runs three cooperating mechanisms (§2):
-//
-//   - Channel access through the conflict map: receivers build interferer
-//     lists from observed losses and broadcast them; senders fold the
-//     lists into defer tables and consult them against the ongoing list of
-//     overheard transmissions before every virtual packet.
-//   - A windowed ACK/retransmission protocol with cumulative bitmap ACKs
-//     (Nwindow virtual packets in flight) that tolerates the ACK losses
-//     endemic at exposed senders.
-//   - A loss-rate-driven backoff: the contention window reacts to the
-//     loss rate receivers report inside ACKs, not to missing ACKs.
-//
-// The implementation mirrors the paper's software prototype (§4): each
-// transmission is a virtual packet — a small header packet, Nvpkt data
-// packets, and a trailer packet sent back to back — so headers and
-// trailers survive collisions independently and stream to neighbours in
-// time to defer.
 package core
 
 import (

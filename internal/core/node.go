@@ -227,6 +227,17 @@ func (n *Node) Idle() bool {
 	return true
 }
 
+// Backlog returns how many enqueued packets towards dst have not yet
+// been consumed into virtual packets. Together with Enqueue it makes
+// the node a traffic.Enqueuer, so arrival processes can enforce finite
+// queue bounds. Saturated flows report 0 (their backlog is notional).
+func (n *Node) Backlog(dst int) int {
+	if f, ok := n.flowByDst[frame.AddrFromID(dst)]; ok {
+		return f.backlog
+	}
+	return 0
+}
+
 // ReceivedFrom returns how many non-duplicate packets were delivered from
 // src (0 if none).
 func (n *Node) ReceivedFrom(src int) uint64 {

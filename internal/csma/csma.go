@@ -1,8 +1,3 @@
-// Package csma implements the 802.11 DCF baseline MAC the paper compares
-// against ("the status quo"): physical carrier sense with DIFS deferral
-// and slotted binary-exponential backoff, stop-and-wait link-layer ACKs
-// with retransmission, and per-experiment switches to disable carrier
-// sense and/or ACKs — the four baseline arms of every figure.
 package csma
 
 import (
@@ -76,6 +71,7 @@ type Node struct {
 	queue     []int // destination per queued packet
 	pending   *frame.Dot11Data
 	pendDst   int
+	txSeq     uint16 // next data sequence number, one per staged packet
 	retries   int
 	cw        int
 	backoff   int // remaining backoff slots
@@ -191,6 +187,19 @@ func (n *Node) Enqueue(dst int, count int) {
 // QueueLen returns the number of queued (not yet attempted) packets.
 func (n *Node) QueueLen() int { return len(n.queue) }
 
+// Backlog returns how many queued packets are destined to dst. Together
+// with Enqueue it makes the node a traffic.Enqueuer, so arrival
+// processes can enforce finite queue bounds.
+func (n *Node) Backlog(dst int) int {
+	c := 0
+	for _, d := range n.queue {
+		if d == dst {
+			c++
+		}
+	}
+	return c
+}
+
 // Idle reports whether the sender has nothing left to do. Saturated
 // senders are never idle.
 func (n *Node) Idle() bool {
@@ -230,12 +239,19 @@ func (n *Node) makeNext() bool {
 	if dst != BroadcastDst {
 		da = frame.AddrFromID(dst)
 	}
+	// Sequence numbers are consecutive per staged packet (retries keep
+	// theirs), so the k-th packet a flow accepts carries sequence k mod
+	// 2¹⁶ — the invariant traffic sources use to map a delivered frame
+	// back to its arrival time. Stop-and-wait dedup only ever compares
+	// against the immediately preceding packet, so consecutive values
+	// are as collision-safe as the attempt-counter scheme they replace.
 	n.pending = &frame.Dot11Data{
 		Src:        n.addr,
 		Dst:        da,
-		Seq:        uint16(n.stat.Sent + n.stat.Dropped),
+		Seq:        n.txSeq,
 		PayloadLen: uint16(n.cfg.PayloadBytes),
 	}
+	n.txSeq++
 	n.retries = 0
 	return true
 }

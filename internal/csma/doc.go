@@ -1,0 +1,26 @@
+// Package csma implements the 802.11 DCF baseline MAC the paper
+// compares against ("the status quo").
+//
+// # Relation to the paper
+//
+// Every figure of §5 measures CMAP against combinations of this MAC's
+// two switches: physical carrier sense with DIFS deferral and slotted
+// binary-exponential backoff, and stop-and-wait link-layer ACKs with
+// retransmission. The four baseline arms — "CS, acks", "CS, no acks",
+// "CS off, acks", "CS off, no acks" — are Config.CarrierSense ×
+// Config.LinkACKs. Carrier sense is precisely the conservative
+// approximation CMAP replaces (§1): it defers on any audible energy at
+// the sender, even when the intended receiver would decode fine.
+//
+// # Performance shape
+//
+// The backoff countdown runs as one timer per countdown rather than one
+// event per 9 µs slot (busy edges deduct the fully elapsed slots —
+// DCF-equivalent), and all per-frame timers are caller-owned values
+// re-armed through the scheduler, so saturated DCF traffic stays on the
+// zero-allocation path. Traffic can be driven saturated (SetSaturated,
+// the paper's model) or by arrival processes via Enqueue/Backlog, which
+// satisfy traffic.Enqueuer; data sequence numbers are consecutive per
+// staged packet so deliveries map back to arrival times for latency
+// measurement.
+package csma

@@ -1,7 +1,3 @@
-// Package experiments reproduces every table and figure of the paper's
-// evaluation (§5). Each experiment selects topologies from a testbed with
-// the paper's constraints (Figure 11), runs the protocol arms the figure
-// compares, and returns the same rows or series the paper reports.
 package experiments
 
 import (
@@ -14,6 +10,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
+	"repro/internal/traffic"
 )
 
 // Protocol enumerates the arms that appear across the evaluation.
@@ -82,6 +79,12 @@ type Options struct {
 	// Progress, when non-nil, is called after each completed trial of
 	// an experiment with (done, total) counts.
 	Progress func(done, total int)
+	// Traffic selects the arrival model experiment flows are driven by.
+	// The zero value is the saturated (always-backlogged) workload of
+	// the paper's methodology; any other kind routes runs through
+	// per-flow traffic.Sources with finite backlogs and per-packet
+	// latency measurement.
+	Traffic traffic.Spec
 }
 
 // pool returns the runner configuration these options describe.
@@ -131,6 +134,14 @@ type FlowResult struct {
 	VpktsSent       uint64
 	VpktsHeader     uint64
 	VpktsHdrOrTrail uint64
+	// Traffic-mode measurements, populated only when Options.Traffic is
+	// not saturated: arrival-process counters and per-packet delivery
+	// latency inside the measurement window (nil otherwise).
+	OfferedPkts   uint64
+	AcceptedPkts  uint64
+	DroppedPkts   uint64
+	DeliveredPkts uint64
+	Lat           *stats.Latency
 }
 
 // HeaderFrac returns the fraction of transmitted virtual packets whose
@@ -151,10 +162,16 @@ func (r FlowResult) HdrOrTrailFrac() float64 {
 	return float64(r.VpktsHdrOrTrail) / float64(r.VpktsSent)
 }
 
-// runFlows runs the given saturated unicast flows over a fresh build of
-// the testbed under one protocol arm and returns per-flow goodput (and
-// CMAP visibility counters).
+// runFlows runs the given unicast flows over a fresh build of the
+// testbed under one protocol arm and returns per-flow goodput (and
+// CMAP visibility counters). The saturated default drives every sender
+// fully backlogged, exactly as before the traffic subsystem existed;
+// any other Options.Traffic kind dispatches to the arrival-process
+// path, which additionally measures drops and per-packet latency.
 func runFlows(tb *topo.Testbed, flows []topo.Link, p Protocol, opt Options, runSeed uint64) []FlowResult {
+	if opt.Traffic.Kind != traffic.Saturated {
+		return runTrafficFlows(tb, flows, p, opt, runSeed)
+	}
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(runSeed)
 	m := tb.Build(sched, rng.Stream(1))

@@ -1,0 +1,24 @@
+// Package frame defines the wire formats exchanged by the simulated
+// link layers.
+//
+// # Relation to the paper
+//
+// The CMAP frames are those of Figure 3 and §3: header and trailer
+// control packets bracketing each virtual packet (carrying source,
+// destination, transmission time and bit-rate — the fields neighbours
+// need to defer correctly), data packets, cumulative bitmap ACKs that
+// also report the receiver's observed loss rate (§3.3–§3.4), and the
+// periodic interferer-list broadcasts receivers use to disseminate
+// their slice of the conflict map (§3.1). Plain 802.11 data/ACK frames
+// serve the DCF baseline of §5.
+//
+// # Encoding
+//
+// Every frame marshals to a self-describing byte string: a one-byte
+// kind, the fields of Figure 3 (or the 802.11 equivalents), and a
+// trailing CRC-32 (IEEE). The simulator carries typed frames between
+// MAC state machines for speed, but airtime is always computed from
+// WireSize so protocol overhead is accounted exactly, and the
+// encode/decode path is tested and available to embedders who want
+// byte-level traces.
+package frame

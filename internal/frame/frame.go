@@ -1,16 +1,3 @@
-// Package frame defines the wire formats exchanged by the simulated link
-// layers: the CMAP header/trailer packets of Figure 3, CMAP data packets,
-// cumulative bitmap ACKs carrying the receiver's observed loss rate,
-// interferer-list broadcasts, and plain 802.11 data/ACK frames for the
-// CSMA baseline.
-//
-// Every frame marshals to a self-describing byte string: a one-byte kind,
-// the fields of Figure 3 (or the 802.11 equivalents), and a trailing
-// CRC-32 (IEEE) over everything before it. The simulator carries typed
-// frames between MAC state machines for speed, but airtime is always
-// computed from WireSize so protocol overhead is accounted exactly, and
-// the encode/decode path is exercised by the test suite and available to
-// embedders who want byte-level traces.
 package frame
 
 import (

@@ -1,0 +1,13 @@
+// Package geo provides the 2-D geometry under every topology: points
+// in metres, rectangles, distances, office-floor layout helpers, and a
+// uniform spatial grid for neighbour enumeration.
+//
+// # Relation to the paper
+//
+// The paper's testbed is a real office floor (§5.1, Figure 11); its
+// simulated counterpart (internal/topo) places nodes with this
+// package's primitives. The spatial grid (Grid) exists for the scaling
+// work beyond the paper: it lets the sparse medium enumerate candidate
+// receiver pairs in O(n·k) at fixed node density instead of O(n²),
+// which is what carries the reproduction from 50 nodes to thousands.
+package geo

@@ -1,5 +1,3 @@
-// Package geo provides the 2-D geometry used to place simulated nodes:
-// points in metres, distances, and office-floor layout helpers.
 package geo
 
 import (

@@ -1,0 +1,31 @@
+// Package phy models the 802.11a OFDM physical layer: the eight
+// bit-rates with their modulation and coding, frame airtime, analytic
+// BER→PER curves as a function of SINR, and a half-duplex transceiver
+// state machine with preamble locking, segment-wise interference
+// accounting, and capture.
+//
+// # Relation to the paper
+//
+// CMAP's premise is that reception is probabilistic and
+// interference-dependent, not binary (§2): whether a concurrent
+// transmission destroys a packet depends on SINR at the receiver, and
+// headers/trailers survive collisions their data packets do not
+// (Figure 3, §3.5). The Radio reproduces exactly that: each incoming
+// frame is split into segments by the set of overlapping interferers,
+// each segment contributes a bit-error probability from the
+// modulation's BER curve at its SINR, and preamble capture lets a
+// sufficiently stronger late arrival steal the receiver (§4.2's
+// prototype behaviour). The §5.8 variable-bit-rate results fall out of
+// the per-modulation curves.
+//
+// # The fast reception path
+//
+// The hot path never touches the dB domain or a transcendental: all
+// per-(radio, rate) constants are folded into linear multipliers at
+// construction (deriveLinear), and the Erfc-based BER/lock curves are
+// replaced by monotone piecewise-linear tables over bit-pattern
+// quantized linear Eb/N0 (tables.go). The exact formulas remain
+// exported as the reference; Params.ExactReceptionMath routes radios
+// through them for A/B validation, and property tests bound the table
+// error. See ARCHITECTURE.md, "The reception compute path".
+package phy

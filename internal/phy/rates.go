@@ -1,7 +1,3 @@
-// Package phy models the 802.11a OFDM physical layer: the eight bit-rates
-// with their modulation and coding, frame airtime, analytic BER→PER curves
-// as a function of SINR, and a half-duplex transceiver state machine with
-// preamble locking, segment-wise interference accounting, and capture.
 package phy
 
 import (

@@ -1,13 +1,3 @@
-// Package radio models RF propagation for the simulated testbed: power
-// unit conversions, a log-distance path-loss model with deterministic
-// per-link shadowing, and SINR arithmetic.
-//
-// The model is the standard indoor narrowband abstraction: received power
-// is transmit power minus a distance-dependent loss plus a per-link
-// lognormal shadowing term that is fixed for the lifetime of a topology
-// (walls and furniture do not move). Shadowing is derived from a hash of
-// the node pair so that the channel is reciprocal (a→b equals b→a) and
-// reproducible from the topology seed.
 package radio
 
 import (

@@ -1,0 +1,18 @@
+// Package runner executes independent simulation trials across a pool
+// of worker goroutines with results collected in submission order.
+//
+// # Relation to the paper
+//
+// The §5 evaluation is hundreds of independent runs — 50 link pairs per
+// figure, 500 interferer triples, ten runs per AP count — each a
+// self-contained simulation. This package is the reproduction's
+// scaling harness for that shape: trials share nothing but an immutable
+// testbed, each builds its own scheduler, medium and RNG streams from a
+// seed derived before any work is dispatched, so the workload is
+// embarrassingly parallel without giving up determinism. The trial
+// function receives only its index, every seed is a pure function of
+// that index, and results land in a slice slot owned by the index: a
+// run produces bit-identical output at any worker count, including 1
+// (which runs inline on the calling goroutine, with no goroutines
+// spawned at all).
+package runner

@@ -1,16 +1,3 @@
-// Package runner executes independent simulation trials across a pool of
-// worker goroutines with results collected in submission order.
-//
-// The experiments of the paper's evaluation decompose into (topology ×
-// protocol-arm × trial) units that share nothing but an immutable
-// testbed: each unit builds its own scheduler, medium and RNG streams
-// from a seed derived before any work is dispatched. That makes the
-// workload embarrassingly parallel without giving up determinism — the
-// trial function receives only its index, every seed is a pure function
-// of that index, and results land in a slice slot owned by the index. A
-// run therefore produces bit-identical output at any worker count,
-// including 1 (which runs inline on the calling goroutine, with no
-// goroutines spawned at all).
 package runner
 
 import (

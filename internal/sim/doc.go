@@ -1,0 +1,30 @@
+// Package sim provides the deterministic discrete-event simulation
+// kernel every other package runs on: a virtual clock with nanosecond
+// resolution, a cancellable event agenda, and seeded random-number
+// streams.
+//
+// # Relation to the paper
+//
+// The kernel implements no CMAP mechanism itself; it is the substrate
+// that makes the §5 evaluation reproducible. The paper's methodology
+// compares protocol arms on identical channel realisations (§5.1) —
+// here that becomes a hard guarantee: every run is a pure function of
+// its seed, because (a) events fire in total (deadline, scheduling
+// sequence) order on a single goroutine, and (b) every randomness
+// consumer draws from its own RNG stream derived from (seed, label), so
+// adding one never perturbs another.
+//
+// # Design
+//
+// The agenda is a hand-rolled 4-ary min-heap storing events by value
+// with hole-based sifts — container/heap would box every entry.
+// Post/PostAfter is the fire-and-forget path used by per-frame traffic;
+// AtHandler/AfterHandler add cancellation handles backed by a recycled
+// slot table; ResetAt/ResetAfter re-arm caller-owned Timer values so
+// per-frame timers (DIFS, backoff, ACK wait, traffic arrivals) allocate
+// nothing in steady state. Events dispatch through the EventHandler
+// interface with a pointer-shaped arg instead of closures; together
+// these make the schedule→fire cycle allocation-free, the property the
+// transmit (internal/medium) and arrival (internal/traffic) hot paths
+// are gated on.
+package sim

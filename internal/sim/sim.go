@@ -1,11 +1,3 @@
-// Package sim provides a deterministic discrete-event simulation kernel:
-// a virtual clock with nanosecond resolution, a cancellable event queue,
-// and seeded random-number streams.
-//
-// The kernel is single-goroutine by design. Wireless MAC protocols are
-// reactive state machines driven by a totally ordered event sequence;
-// running them on one goroutine with a heap-ordered agenda keeps every
-// experiment reproducible from its seed.
 package sim
 
 import (

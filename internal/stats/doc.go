@@ -1,0 +1,24 @@
+// Package stats provides the measurement layer of the evaluation:
+// sample distributions with percentiles and CDFs, goodput meters,
+// measurement windows with warm-up truncation, per-packet latency
+// percentiles, and Jain's fairness index.
+//
+// # Relation to the paper
+//
+// The Meter replicates the §5.1 methodology: non-duplicate packets
+// counted over the tail of each run (the paper measures the last 60 s
+// of 100 s), reported as goodput in Mb/s. Dist backs the CDF figures
+// (12, 13, 15, 16, 18, 20) — FormatCDFs renders the percentile columns
+// that stand in for the plots.
+//
+// # Beyond the paper
+//
+// The traffic subsystem opened the offered-load axis, and with it
+// metrics the saturated evaluation never needed: Window generalises the
+// warm-up-truncated measurement interval, Latency accumulates
+// per-packet delays (arrival to non-duplicate delivery, gated on the
+// delivery instant like the Meter) and answers p50/p95/p99 in
+// milliseconds, and Jain scores how evenly competing flows share the
+// channel — the fairness dimension of the exposed/hidden-node tradeoff
+// literature.
+package stats

@@ -1,7 +1,3 @@
-// Package stats provides the measurement utilities the experiments use:
-// sample distributions with percentiles and CDFs, and throughput meters
-// that replicate the paper's methodology (non-duplicate packets counted
-// over the tail of the run).
 package stats
 
 import (
@@ -137,6 +133,87 @@ func (d *Dist) Values() []float64 {
 func (d *Dist) Summary() string {
 	return fmt.Sprintf("n=%d mean=%.3f median=%.3f p25=%.3f p75=%.3f",
 		d.N(), d.Mean(), d.Median(), d.Percentile(25), d.Percentile(75))
+}
+
+// Window is a measurement interval in virtual time: samples outside
+// [Start, End] are excluded. Setting Start past a run's transient is
+// the warm-up truncation the paper's methodology uses (§5.1 measures
+// the last 60 s of 100 s runs); the Meter and Latency recorders both
+// apply it.
+type Window struct {
+	Start, End sim.Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t sim.Time) bool { return t >= w.Start && t <= w.End }
+
+// Seconds returns the window length in seconds (0 if degenerate).
+func (w Window) Seconds() float64 {
+	if w.End <= w.Start {
+		return 0
+	}
+	return (w.End - w.Start).Seconds()
+}
+
+// Jain returns Jain's fairness index over per-flow allocations:
+// (Σx)² / (n·Σx²), which is 1 when all flows receive equally and 1/n
+// when one flow takes everything. Empty or all-zero inputs return 0.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Latency accumulates per-packet delays (arrival to non-duplicate
+// delivery) observed inside a measurement window, in milliseconds. The
+// warm-up gate applies to the delivery instant: a packet that arrived
+// before the window but was delivered inside it counts, matching how
+// the goodput Meter treats the same delivery.
+type Latency struct {
+	// W bounds which deliveries are recorded.
+	W Window
+	d Dist
+}
+
+// Record adds one packet's delay if its delivery instant now falls
+// inside the window.
+func (l *Latency) Record(now sim.Time, delay sim.Time) {
+	if !l.W.Contains(now) {
+		return
+	}
+	l.d.Add(float64(delay) / float64(sim.Millisecond))
+}
+
+// N returns the number of recorded deliveries.
+func (l *Latency) N() int { return l.d.N() }
+
+// P50 returns the median delay in milliseconds.
+func (l *Latency) P50() float64 { return l.d.Percentile(50) }
+
+// P95 returns the 95th-percentile delay in milliseconds.
+func (l *Latency) P95() float64 { return l.d.Percentile(95) }
+
+// P99 returns the 99th-percentile delay in milliseconds.
+func (l *Latency) P99() float64 { return l.d.Percentile(99) }
+
+// Dist exposes the underlying sample distribution (milliseconds).
+func (l *Latency) Dist() *Dist { return &l.d }
+
+// Merge folds another recorder's samples into this one (window
+// filtering already happened at Record time).
+func (l *Latency) Merge(o *Latency) {
+	if o != nil {
+		l.d.AddAll(o.d.xs)
+	}
 }
 
 // Meter measures goodput the way the paper does (§5.1): it counts

@@ -164,6 +164,125 @@ func TestValuesCopy(t *testing.T) {
 	}
 }
 
+// TestPercentileHandComputed pins the interpolation rule against values
+// worked out by hand on {10, 20, 30, 40, 50}: rank = p/100·(n−1), with
+// linear interpolation between the flanking order statistics.
+func TestPercentileHandComputed(t *testing.T) {
+	var d Dist
+	d.AddAll([]float64{30, 10, 50, 20, 40})
+	cases := []struct{ p, want float64 }{
+		{0, 10},
+		{25, 20},   // rank 1 exactly
+		{50, 30},   // rank 2 exactly
+		{90, 46},   // rank 3.6 → 40 + 0.6·(50−40)
+		{95, 48},   // rank 3.8 → 40 + 0.8·10
+		{99, 49.6}, // rank 3.96 → 40 + 0.96·10
+		{100, 50},
+		{10, 14}, // rank 0.4 → 10 + 0.4·10
+	}
+	for _, c := range cases {
+		if got := d.Percentile(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+// TestJainHandComputed checks the fairness index against hand-computed
+// values: equal shares give 1, one-flow-takes-all gives 1/n, and the
+// worked example (Σx)²/(n·Σx²) = 36/(3·14) for {1,2,3}.
+func TestJainHandComputed(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{0, 0}, 0},
+		{[]float64{5, 5, 5, 5}, 1},
+		{[]float64{7, 0, 0, 0}, 0.25},
+		{[]float64{1, 2, 3}, 36.0 / 42.0},
+		{[]float64{4, 1}, 25.0 / 34.0},
+	}
+	for _, c := range cases {
+		if got := Jain(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jain(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestJainBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			// Throughput-scale magnitudes only: (Σx)² must not overflow.
+			if !math.IsNaN(v) && v >= 0 && v < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		j := Jain(xs)
+		if len(xs) == 0 || j == 0 {
+			return j == 0
+		}
+		return j >= 1/float64(len(xs))-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	w := Window{Start: 2 * sim.Second, End: 5 * sim.Second}
+	for _, c := range []struct {
+		t    sim.Time
+		want bool
+	}{
+		{1 * sim.Second, false},
+		{2 * sim.Second, true},
+		{5 * sim.Second, true},
+		{5*sim.Second + 1, false},
+	} {
+		if got := w.Contains(c.t); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if w.Seconds() != 3 {
+		t.Errorf("Seconds = %v, want 3", w.Seconds())
+	}
+	if (Window{Start: 5, End: 5}).Seconds() != 0 {
+		t.Error("degenerate window should report 0 seconds")
+	}
+}
+
+// TestLatencyWarmupTruncation checks the latency recorder applies its
+// window to the delivery instant and reports percentiles in ms.
+func TestLatencyWarmupTruncation(t *testing.T) {
+	l := Latency{W: Window{Start: 1 * sim.Second, End: 10 * sim.Second}}
+	l.Record(500*sim.Millisecond, 4*sim.Millisecond) // warm-up: ignored
+	l.Record(2*sim.Second, 10*sim.Millisecond)
+	l.Record(3*sim.Second, 20*sim.Millisecond)
+	l.Record(4*sim.Second, 30*sim.Millisecond)
+	l.Record(11*sim.Second, 500*sim.Millisecond) // after window: ignored
+	if l.N() != 3 {
+		t.Fatalf("N = %d, want 3", l.N())
+	}
+	if got := l.P50(); got != 20 {
+		t.Errorf("P50 = %v ms, want 20", got)
+	}
+	// Hand-computed on {10,20,30}: rank 1.9 → 20 + 0.9·10 = 29.
+	if got := l.P95(); math.Abs(got-29) > 1e-12 {
+		t.Errorf("P95 = %v ms, want 29", got)
+	}
+	if got := l.P99(); math.Abs(got-29.8) > 1e-12 {
+		t.Errorf("P99 = %v ms, want 29.8", got)
+	}
+	var pooled Latency
+	pooled.W = Window{End: 1} // Merge bypasses the window; samples were already gated
+	pooled.Merge(&l)
+	pooled.Merge(nil)
+	if pooled.N() != 3 || pooled.P50() != 20 {
+		t.Errorf("Merge lost samples: N=%d P50=%v", pooled.N(), pooled.P50())
+	}
+}
+
 func TestFormatCDFs(t *testing.T) {
 	var a, b Dist
 	a.AddAll([]float64{1, 2, 3})

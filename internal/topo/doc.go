@@ -1,0 +1,24 @@
+// Package topo generates the simulated counterpart of the paper's
+// 50-node indoor office testbed and the topology classes its
+// evaluation samples, plus large-scale scenario generators beyond the
+// paper.
+//
+// # Relation to the paper
+//
+// NewTestbed reproduces §5.1: a calibrated office-floor layout whose
+// link census (connected pairs, PRR buckets, degree) matches the
+// numbers the paper reports, measured with the same methodology —
+// isolation PRR and signal-strength passes, the "in-range" and
+// "potential transmission link" definitions. The pair/triple pickers
+// implement the topology constraints of Figure 11: ExposedPairs (§5.2),
+// InRangePairs (§5.3), HiddenInterfererTriples (§5.4), HiddenPairs
+// (§5.5), APRegions (§5.6) and MeshTopologies (§5.7).
+//
+// # Beyond the paper
+//
+// Scenario is the scaling counterpart of Testbed: a named layout
+// (GridCity, ClusteredAPs, UniformDisk) carrying positions and the
+// radio environment but no O(n²) link measurements, so generators reach
+// thousands of nodes; Scenario.Testbed() runs the measurement pass on
+// demand, and Scenario.Traffic suggests a default workload for drivers.
+package topo

@@ -9,6 +9,7 @@ import (
 	"repro/internal/phy"
 	"repro/internal/radio"
 	"repro/internal/sim"
+	"repro/internal/traffic"
 )
 
 // Scenario is a named large-scale node layout: positions plus the radio
@@ -27,6 +28,13 @@ type Scenario struct {
 	// APs lists designated access-point node indices for layouts that
 	// have them (ClusteredAPs); empty otherwise.
 	APs []int
+
+	// Traffic is the scenario's suggested workload: the arrival model a
+	// driver should default to when the user does not pick one. The zero
+	// value is the saturated (always-backlogged) model, so existing
+	// scenarios behave exactly as before the traffic subsystem existed.
+	// cmd/cmapsim consults it when its -traffic flag is left empty.
+	Traffic traffic.Spec
 }
 
 // N returns the node count.

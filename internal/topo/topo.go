@@ -1,8 +1,3 @@
-// Package topo generates the simulated counterpart of the paper's 50-node
-// indoor office testbed (§5.1) and implements its link-selection
-// methodology: isolation PRR / signal-strength measurement, the link
-// census, the "in-range" and "potential transmission link" definitions,
-// and pickers for every topology constraint of Figure 11.
 package topo
 
 import (

@@ -1,0 +1,20 @@
+// Package trace records structured per-node link-layer events — frame
+// receptions, corruptions, transmissions, carrier edges — into a
+// bounded ring buffer and renders them as a readable timeline.
+//
+// # Relation to the paper
+//
+// Debugging a reactive MAC means reconstructing who heard what, when —
+// the §4 prototype work the paper describes doing with packet captures.
+// The tracer is this reproduction's equivalent: it decorates any
+// phy.Handler, so CMAP nodes, DCF nodes, and bare radios can all be
+// traced without touching their code:
+//
+//	tracer := trace.New(512)
+//	node := core.New(3, cfg, m, rng)
+//	m.Radio(3).SetHandler(tracer.Wrap(3, node, m.Scheduler()))
+//
+// cmd/cmapsim's -trace flag wires this up for one flow's endpoints. The
+// tracer is simulation-grade (no locking): the kernel is single
+// threaded by design.
+package trace

@@ -1,15 +1,3 @@
-// Package trace records structured per-node link-layer events — frame
-// receptions, corruptions, transmissions, carrier edges — into a bounded
-// ring buffer and renders them as a readable timeline. It decorates any
-// phy.Handler, so CMAP nodes, DCF nodes, and bare radios can all be
-// traced without touching their code:
-//
-//	tracer := trace.New(512)
-//	node := core.New(3, cfg, m, rng)
-//	m.Radio(3).SetHandler(tracer.Wrap(3, node, m.Scheduler()))
-//
-// The tracer is simulation-grade (no locking): the kernel is single
-// threaded by design.
 package trace
 
 import (

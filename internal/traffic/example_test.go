@@ -1,0 +1,53 @@
+package traffic_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// queue is a toy Enqueuer standing in for a link-layer node: it serves
+// one packet per millisecond, so a fast-enough arrival process fills
+// its finite backlog and sees tail drops.
+type queue struct {
+	sched   *sim.Scheduler
+	backlog int
+	served  int
+}
+
+func (q *queue) Enqueue(dst, count int) { q.backlog += count }
+func (q *queue) Backlog(dst int) int    { return q.backlog }
+func (q *queue) serve() {
+	if q.backlog > 0 {
+		q.backlog--
+		q.served++
+	}
+	q.sched.After(sim.Millisecond, q.serve)
+}
+
+// Example drives a bursty ON/OFF workload into a rate-limited queue for
+// one virtual second. The source offers 2000 packets/s during ON bursts
+// (mean 50 ms, alternating with mean 150 ms of silence — a 500 pkt/s
+// long-run rate); the queue serves only 1000 pkt/s, so long bursts
+// overflow the 64-packet cap and drop at the tail.
+func Example() {
+	sched := sim.NewScheduler()
+	q := &queue{sched: sched}
+	q.serve()
+
+	spec := traffic.OnOffAt(2000, 50*sim.Millisecond, 150*sim.Millisecond)
+	spec.QueueCap = 64
+	src := traffic.NewSource(sched, sim.NewRNG(42), spec, q, 1)
+	src.Start()
+
+	sched.Run(1 * sim.Second)
+	st := src.Stats()
+	fmt.Printf("offered=%d accepted=%d dropped=%d served=%d\n",
+		st.Offered, st.Accepted, st.Dropped, q.served)
+	fmt.Printf("long-run offered load at 1400-byte payloads: %.2f Mb/s\n",
+		spec.OfferedMbps(1400))
+	// Output:
+	// offered=873 accepted=696 dropped=177 served=633
+	// long-run offered load at 1400-byte payloads: 5.60 Mb/s
+}
