@@ -14,12 +14,21 @@
 #   make bench-smoke  one-iteration steady-state benchmark (compile-level perf canary)
 #   make docs-check documentation gate: gofmt diff, vet, package-comment
 #                   guard over internal/, markdown link check
+#   make fuzz-smoke short randomized pass of the checked-in fuzzers
+#                   (scheduler agenda, CMAP defer table) beyond their
+#                   seed corpora
+#   make cover      coverage profile over every package (coverage.out)
+#                   with a hard floor on internal/analytic
 #   make ci         the full gate: vet + race short tier + alloc gate + golden tier
-#                   + bench smoke + docs check
+#                   + bench smoke + docs check + fuzz smoke + coverage floor
 
 GO ?= go
 
-.PHONY: build test test-full race bench check vet golden alloc-check bench-json profile bench-smoke docs-check ci
+# Coverage floor for the analytic oracle: the cross-validation tier leans
+# on it, so untested solver/extractor branches are a correctness risk.
+ANALYTIC_COVER_FLOOR ?= 85
+
+.PHONY: build test test-full race bench check vet golden alloc-check bench-json profile bench-smoke docs-check fuzz-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -70,9 +79,28 @@ docs-check:
 	$(GO) vet ./...
 	$(GO) run ./cmd/docscheck README.md ARCHITECTURE.md ROADMAP.md examples/README.md
 
+# Short randomized fuzzing beyond the seed corpora: a few seconds per
+# fuzzer is enough to catch a freshly introduced ordering or expiry bug
+# without turning CI into a fuzzing farm.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzScheduler -fuzztime=5s ./internal/sim
+	$(GO) test -run='^$$' -fuzz=FuzzDeferTable -fuzztime=5s ./internal/core
+
+# Coverage profile over the whole module plus a hard floor on the
+# analytic oracle (its numbers gate the cross-validation tier).
+cover:
+	$(GO) test -short -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | tail -1
+	@pct=$$($(GO) test -cover ./internal/analytic | grep -o '[0-9.]*%' | tr -d '%'); \
+	echo "internal/analytic coverage: $$pct% (floor $(ANALYTIC_COVER_FLOOR)%)"; \
+	awk "BEGIN{exit !($$pct >= $(ANALYTIC_COVER_FLOOR))}" || \
+		{ echo "internal/analytic coverage $$pct% below floor $(ANALYTIC_COVER_FLOOR)%"; exit 1; }
+
 ci: build vet
 	$(GO) test -race -short ./...
 	$(MAKE) alloc-check
 	$(MAKE) golden
 	$(MAKE) bench-smoke
 	$(MAKE) docs-check
+	$(MAKE) fuzz-smoke
+	$(MAKE) cover

@@ -23,6 +23,12 @@
 // changes wall-clock time. -trials overrides every per-experiment
 // topology/run count (Pairs, Triples, APRuns, Meshes) for custom sweeps.
 //
+// -analytic skips the figure suite and screens the standard
+// (scenario × load) grid through the analytic conflict-graph oracle
+// (internal/analytic) in milliseconds, tagging the points that merit
+// full simulation; -analytic-verify additionally simulates the whole
+// grid to report the oracle's agreement and wall-clock advantage.
+//
 // -benchjson skips the figure suite, runs the node-count scaling
 // benchmarks instead, and writes BENCH_<git-short-sha>.json (ns/op,
 // B/op, allocs/op per benchmark) so the perf trajectory stays
@@ -80,6 +86,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines per experiment (0 = all CPUs, 1 = serial)")
 	trials := flag.Int("trials", 0, "override per-experiment trial counts (Pairs/Triples/APRuns/Meshes); 0 keeps the scale's defaults")
 	progress := flag.Bool("progress", false, "report per-experiment trial progress on stderr")
+	analyticScreen := flag.Bool("analytic", false, "screen the standard (scenario × load) grid through the analytic oracle and exit")
+	analyticVerify := flag.Bool("analytic-verify", false, "with -analytic: also simulate the full grid and report agreement and speedup")
 	benchJSON := flag.Bool("benchjson", false, "run the scaling benchmarks, write BENCH_<git-short-sha>.json, and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
@@ -175,6 +183,23 @@ func main() {
 			fmt.Printf("traffic: %v arrivals at %.2f Mb/s offered per flow\n",
 				kind, opt.Traffic.OfferedMbps(1400))
 		}
+	}
+
+	if *analyticScreen {
+		screenLoads := loads
+		loadSet := false
+		flag.Visit(func(f *flag.Flag) { loadSet = loadSet || f.Name == "load" })
+		if !loadSet {
+			// The screen is near-free, so default to a denser sweep than
+			// the simulated figures use: 16 loads × the 7 standard
+			// scenarios ≈ a 112-point grid.
+			screenLoads = []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 2.5, 3, 4, 5, 6, 7, 8, 10, 12, 16}
+		}
+		if err := runAnalyticScreen(opt, screenLoads, *analyticVerify); err != nil {
+			fmt.Fprintf(os.Stderr, "analytic: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	want := map[string]bool{}
@@ -313,6 +338,74 @@ func main() {
 				" out-delivers carrier sense on exposed pairs and matches it on hidden ones)")
 		})
 	}
+}
+
+// runAnalyticScreen is the -analytic mode: evaluate the standard
+// (scenario × load) grid through the conflict-graph oracle, print the
+// screen, and — with -analytic-verify — simulate the identical grid to
+// measure the oracle's agreement and wall-clock advantage.
+func runAnalyticScreen(opt experiments.Options, loads []float64, verify bool) error {
+	scens := experiments.StandardScreenScenarios(opt.Seed)
+	fmt.Printf("== analytic screen — %d scenarios × %d loads ==\n", len(scens), len(loads))
+	screen, err := experiments.AnalyticScreen(scens, loads, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(screen.Format())
+	if !verify {
+		return nil
+	}
+
+	fmt.Printf("\nsimulating the same %d-point grid (duration %v per point per arm)...\n",
+		len(screen.Points), time.Duration(opt.Duration))
+	simulated, simElapsed, err := experiments.SimulateScreenGrid(scens, loads, opt)
+	if err != nil {
+		return err
+	}
+	type cell struct {
+		pred func(p experiments.ScreenPoint) float64
+		arm  experiments.Protocol
+	}
+	cells := []cell{
+		{func(p experiments.ScreenPoint) float64 { return p.PredCSMA }, experiments.CSMAOn},
+		{func(p experiments.ScreenPoint) float64 { return p.PredCMAP }, experiments.CMAP},
+	}
+	var flaggedErr, clearErr, worst float64
+	var flaggedN, clearN int
+	var worstAt string
+	for _, p := range screen.Points {
+		for _, c := range cells {
+			sim := simulated[p.Scenario][p.LoadMbps][c.arm]
+			if sim <= 0 {
+				continue
+			}
+			rel := math.Abs(c.pred(p)-sim) / sim
+			if p.Simulate {
+				flaggedErr += rel
+				flaggedN++
+			} else {
+				clearErr += rel
+				clearN++
+			}
+			if rel > worst {
+				worst = rel
+				worstAt = fmt.Sprintf("%s load=%.2g %v", p.Scenario, p.LoadMbps, c.arm)
+			}
+		}
+	}
+	if clearN > 0 {
+		fmt.Printf("screen-decided points: mean |rel err| = %.1f%% over %d arm-points\n",
+			100*clearErr/float64(clearN), clearN)
+	}
+	if flaggedN > 0 {
+		fmt.Printf("flagged points:        mean |rel err| = %.1f%% over %d arm-points (that is why they are flagged)\n",
+			100*flaggedErr/float64(flaggedN), flaggedN)
+	}
+	fmt.Printf("worst point: %s (%.1f%%)\n", worstAt, 100*worst)
+	speedup := float64(simElapsed) / float64(screen.Elapsed)
+	fmt.Printf("wall clock: screen %v vs simulation %v → %.0f× faster\n",
+		screen.Elapsed.Round(time.Millisecond), simElapsed.Round(time.Millisecond), speedup)
+	return nil
 }
 
 func step(title string, fn func()) {

@@ -6,8 +6,13 @@
 //
 //	cmapsim [-seed N] [-topology exposed|inrange|hidden] [-protocol cmap|cmap1|dcf|dcf-nocs|dcf-nocs-noack]
 //	        [-duration 30s] [-index 0] [-trace N] [-trials 1] [-parallel 0]
-//	        [-traffic cbr|poisson|onoff] [-load 2.0] [-churn 500ms]
+//	        [-traffic cbr|poisson|onoff] [-load 2.0] [-churn 500ms] [-predict]
 //	cmapsim -scenario gridcity|clusters|disk [-nodes 200] ...
+//
+// -predict prints the analytic oracle's per-flow saturated-goodput
+// prediction (internal/analytic: conflict-graph extraction plus the
+// mean-field fixed point) next to the simulated numbers, for the
+// protocols the oracle models (cmap, cmap1, dcf).
 //
 // With -trials above one, the same topology is replayed under
 // independently seeded channel/protocol randomness and the per-trial
@@ -34,6 +39,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/analytic"
 	"repro/internal/core"
 	"repro/internal/csma"
 	"repro/internal/runner"
@@ -43,6 +49,37 @@ import (
 	"repro/internal/trace"
 	"repro/internal/traffic"
 )
+
+// predictPair runs the analytic oracle over the selected pair and prints
+// its per-flow saturated prediction, or explains why the protocol has no
+// analytic model. The extraction medium is built read-only from the same
+// testbed the simulation uses, so both read identical gains.
+func predictPair(tb *topo.Testbed, pair topo.LinkPair, protocol string, seed uint64) {
+	var arm analytic.Arm
+	switch protocol {
+	case "dcf":
+		arm = analytic.ArmCSMA
+	case "cmap", "cmap1":
+		arm = analytic.ArmCMAP
+	default:
+		fmt.Printf("predict: no analytic model for protocol %q\n", protocol)
+		return
+	}
+	m := tb.Build(sim.NewScheduler(), sim.NewRNG(seed).Stream(1))
+	g, err := analytic.Extract(m, []topo.Link{pair.A, pair.B}, analytic.ExtractConfig{})
+	if err != nil {
+		fmt.Printf("predict: %v\n", err)
+		return
+	}
+	r := analytic.Solve(g, analytic.Options{Arm: arm})
+	if !r.Converged {
+		fmt.Printf("predict: %v fixed point did not converge (residual %.2e after %d iterations)\n",
+			arm, r.Residual, r.Iterations)
+		return
+	}
+	fmt.Printf("predict (%v, saturated): flow1 %.2f  flow2 %.2f  aggregate %.2f Mb/s  (occupancy %.2f/%.2f, %d iterations)\n",
+		arm, r.FlowMbps[0], r.FlowMbps[1], r.AggregateMbps(), r.Occupancy[0], r.Occupancy[1], r.Iterations)
+}
 
 // trialResult is one replication's measured goodput (plus arrival-mode
 // latency and drop counters when a traffic spec is active).
@@ -235,6 +272,7 @@ func main() {
 	trafficKind := flag.String("traffic", "", "arrival model: saturated | cbr | poisson | onoff (empty = scenario default)")
 	load := flag.Float64("load", 2.0, "per-flow offered load in Mb/s of payload (non-saturated -traffic only)")
 	churn := flag.Duration("churn", 0, "mean session up/down duration for flow churn (0 = no churn)")
+	predict := flag.Bool("predict", false, "also print the analytic oracle's saturated per-flow prediction")
 	flag.Parse()
 
 	switch *protocol {
@@ -303,6 +341,9 @@ func main() {
 		tb.RSS[pair.A.Src][pair.A.Dst], tb.PRR[pair.A.Src][pair.A.Dst],
 		tb.RSS[pair.B.Src][pair.B.Dst], tb.PRR[pair.B.Src][pair.B.Dst],
 		tb.RSS[pair.B.Src][pair.A.Src])
+	if *predict {
+		predictPair(tb, pair, *protocol, *seed)
+	}
 
 	d := sim.Duration(*duration)
 	if *trials <= 1 {

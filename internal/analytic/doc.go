@@ -1,0 +1,30 @@
+// Package analytic predicts saturated per-flow throughput from the
+// conflict graph alone, with no event-driven simulation: a fixed-point
+// computation in the style of the CSMA mean-field literature (Sun et
+// al., van de Ven et al.) evaluated over sensing and interference edges
+// extracted from the same sparse medium the simulator runs on.
+//
+// The package has two halves:
+//
+//   - Extract derives a Graph for a set of unicast flows directly from a
+//     *medium.Medium: a symmetric sense edge where one sender can
+//     carrier-sense the other, and a directed harm edge where one
+//     sender's concurrent transmission cuts the victim link's reception
+//     ratio below the paper's l_interf threshold. Because the edges come
+//     from the medium's own delivery lists (geo.Grid plus
+//     radio.RangeBounder pruning), graph and simulator share one ground
+//     truth.
+//
+//   - Solve runs a damped fixed-point iteration for the stationary air
+//     occupancy of each flow under a protocol arm (802.11 DCF or CMAP),
+//     reporting per-flow goodput together with the iteration count, the
+//     final residual, and whether the iteration converged. The CMAP arm
+//     relaxes exposed-terminal conflicts per the paper's deferral rule:
+//     a sense edge with no harm in either direction is not deferred to.
+//
+// The model is an oracle for cross-validation (internal/experiments
+// asserts simulator agreement within documented tolerances) and a fast
+// screening path: a (scenario × load) grid that takes minutes to
+// simulate evaluates in milliseconds, flagging only the points whose
+// outcome the closed form cannot already decide.
+package analytic

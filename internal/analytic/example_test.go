@@ -1,0 +1,26 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+)
+
+// Example solves the canonical exposed-terminal pair: two flows whose
+// senders carrier-sense each other while both receivers sit in clean
+// air. 802.11-style CSMA serialises them (the sense edge forces the
+// pair to share one channel), while CMAP — seeing no harm edge — lets
+// both transmit concurrently and nearly doubles aggregate goodput.
+func Example() {
+	g := analytic.NewSynthetic(2)
+	g.AddSense(0, 1) // senders in range; no interference at either receiver
+
+	csma := analytic.Solve(g, analytic.Options{Arm: analytic.ArmCSMA})
+	cmap := analytic.Solve(g, analytic.Options{Arm: analytic.ArmCMAP})
+
+	fmt.Printf("CSMA %.2f Mb/s (converged=%v)\n", csma.AggregateMbps(), csma.Converged)
+	fmt.Printf("CMAP %.2f Mb/s (converged=%v)\n", cmap.AggregateMbps(), cmap.Converged)
+	// Output:
+	// CSMA 5.50 Mb/s (converged=true)
+	// CMAP 11.03 Mb/s (converged=true)
+}

@@ -1,0 +1,297 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestArmString pins the labels experiment tables print.
+func TestArmString(t *testing.T) {
+	if ArmCSMA.String() != "CSMA" || ArmCMAP.String() != "CMAP" {
+		t.Fatalf("arm labels: %q, %q", ArmCSMA.String(), ArmCMAP.String())
+	}
+}
+
+// TestSingleFlowRenewal checks the degenerate one-flow fixed point: no
+// conflicts, so occupancy is hold/(hold+gap(0)) and goodput sits near
+// (but below) the raw bit-rate for both arms.
+func TestSingleFlowRenewal(t *testing.T) {
+	for _, arm := range []Arm{ArmCSMA, ArmCMAP} {
+		r := Solve(NewSynthetic(1), Options{Arm: arm})
+		if !r.Converged {
+			t.Fatalf("%v: no convergence (residual %.2e)", arm, r.Residual)
+		}
+		if r.Iterations <= 0 || r.Residual > 1e-9 {
+			t.Fatalf("%v: iterations=%d residual=%.2e", arm, r.Iterations, r.Residual)
+		}
+		if got := r.AggregateMbps(); got < 4.5 || got > 6 {
+			t.Fatalf("%v single 6 Mb/s link: goodput %.3f Mb/s, want ≈5–5.6", arm, got)
+		}
+		if x := r.Occupancy[0]; x < 0.85 || x > 1 {
+			t.Fatalf("%v single-flow occupancy %.3f, want near 1", arm, x)
+		}
+		if s := r.Success[0]; s != 1 {
+			t.Fatalf("%v isolated flow success %.3f, want 1", arm, s)
+		}
+	}
+}
+
+// TestIsolationPRRScalesGoodput: halving the isolation PRR of an
+// isolated DCF flow must cut delivered goodput (retries burn airtime).
+func TestIsolationPRRScalesGoodput(t *testing.T) {
+	clean := Solve(NewSynthetic(1), Options{Arm: ArmCSMA})
+	lossy := NewSynthetic(1)
+	lossy.IsoPRR[0] = 0.5
+	r := Solve(lossy, Options{Arm: ArmCSMA})
+	if !r.Converged {
+		t.Fatal("lossy flow did not converge")
+	}
+	if r.AggregateMbps() >= clean.AggregateMbps()*0.75 {
+		t.Fatalf("iso PRR 0.5: goodput %.3f vs clean %.3f — loss did not bite", r.AggregateMbps(), clean.AggregateMbps())
+	}
+}
+
+// symmetricRing builds n flows in a cycle where each flow fully
+// conflicts (sense + mutual harm) with its two neighbours.
+func symmetricRing(n int) *Graph {
+	g := NewSynthetic(n)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		g.AddSense(i, j)
+		g.AddHarm(i, j)
+		g.AddHarm(j, i)
+	}
+	return g
+}
+
+// TestSymmetryPreserved: on vertex-transitive graphs every flow must
+// solve to exactly the same occupancy and goodput — the Jacobi sweep
+// reads only the previous iterate, so symmetry cannot drift.
+func TestSymmetryPreserved(t *testing.T) {
+	for _, arm := range []Arm{ArmCSMA, ArmCMAP} {
+		for _, n := range []int{3, 5, 8} {
+			r := Solve(symmetricRing(n), Options{Arm: arm})
+			if !r.Converged {
+				t.Fatalf("%v ring(%d): no convergence", arm, n)
+			}
+			for i := 1; i < n; i++ {
+				if math.Abs(r.FlowMbps[i]-r.FlowMbps[0]) > 1e-6 {
+					t.Fatalf("%v ring(%d): flow %d got %.6f, flow 0 got %.6f", arm, n, i, r.FlowMbps[i], r.FlowMbps[0])
+				}
+				if math.Abs(r.Occupancy[i]-r.Occupancy[0]) > 1e-9 {
+					t.Fatalf("%v ring(%d): occupancy diverged between symmetric flows", arm, n)
+				}
+			}
+		}
+	}
+}
+
+// TestCliqueExact: an isolated clique is the one topology the
+// mean-field model solves in closed form, x_i = ρ/(1+kρ) for k
+// identical flows. Derive ρ from the single-flow solution (where
+// x = ρ/(1+ρ)) and check k-cliques against it.
+func TestCliqueExact(t *testing.T) {
+	for _, arm := range []Arm{ArmCSMA, ArmCMAP} {
+		single := Solve(NewSynthetic(1), Options{Arm: arm})
+		x1 := single.Occupancy[0]
+		rho := x1 / (1 - x1)
+		for _, k := range []int{2, 3, 5} {
+			g := NewSynthetic(k)
+			for i := 0; i < k; i++ {
+				for j := i + 1; j < k; j++ {
+					g.AddSense(i, j)
+					g.AddHarm(i, j)
+					g.AddHarm(j, i)
+				}
+			}
+			r := Solve(g, Options{Arm: arm})
+			if !r.Converged {
+				t.Fatalf("%v clique(%d): no convergence", arm, k)
+			}
+			want := rho / (1 + float64(k)*rho)
+			for i := 0; i < k; i++ {
+				if math.Abs(r.Occupancy[i]-want) > 1e-6 {
+					t.Fatalf("%v clique(%d): x[%d]=%.8f, closed form %.8f", arm, k, i, r.Occupancy[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestMonotoneUnderConflictEdges: more conflict can only hurt the flows
+// it constrains. The exact statement holds where the greedy clique
+// cover is stable — growing one clique a vertex at a time, every member
+// already inside is monotone non-increasing. Under arbitrary edge
+// orders the cover re-partitions between steps (two neighbours merging
+// into one clique replaces a sum constraint with a max), which can lift
+// a flow several percent for one step, so the random-order sweep asserts
+// a 10% per-step slack on each new edge's endpoints. The aggregate is
+// deliberately not asserted per step — it genuinely is not monotone
+// even physically (a flow joining a star as a spoke steals from the hub
+// but itself transmits most of the time) — but the complete conflict
+// graph must end far below the independent start, since every flow then
+// shares a single channel.
+func TestMonotoneUnderConflictEdges(t *testing.T) {
+	conflict := func(g *Graph, i, j int) {
+		g.AddSense(i, j)
+		g.AddHarm(i, j)
+		g.AddHarm(j, i)
+	}
+	const n = 7
+	for _, arm := range []Arm{ArmCSMA, ArmCMAP} {
+		// Clique growth: absorb vertex k by connecting it to all of
+		// 0..k-1, then check every prior member dropped (exactly).
+		g := NewSynthetic(n)
+		prev := Solve(g, Options{Arm: arm})
+		for k := 1; k < n; k++ {
+			for j := 0; j < k; j++ {
+				conflict(g, j, k)
+			}
+			r := Solve(g, Options{Arm: arm})
+			if !r.Converged {
+				t.Fatalf("%v clique(%d): no convergence", arm, k+1)
+			}
+			for j := 0; j < k; j++ {
+				if r.FlowMbps[j] > prev.FlowMbps[j]+1e-6 {
+					t.Fatalf("%v: clique member %d rose from %.6f to %.6f absorbing vertex %d",
+						arm, j, prev.FlowMbps[j], r.FlowMbps[j], k)
+				}
+			}
+			prev = r
+		}
+
+		// Random order: endpoints of each new edge within a 10%
+		// cover-re-partition slack, strict drop end to end.
+		type edge struct{ i, j int }
+		var edges []edge
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				edges = append(edges, edge{i, j})
+			}
+		}
+		rng := rand.New(rand.NewSource(7))
+		rng.Shuffle(len(edges), func(a, b int) { edges[a], edges[b] = edges[b], edges[a] })
+		g = NewSynthetic(n)
+		start := Solve(g, Options{Arm: arm})
+		prev = start
+		for _, e := range edges {
+			conflict(g, e.i, e.j)
+			r := Solve(g, Options{Arm: arm})
+			if !r.Converged {
+				t.Fatalf("%v: no convergence after edge %v", arm, e)
+			}
+			for _, end := range []int{e.i, e.j} {
+				if r.FlowMbps[end] > prev.FlowMbps[end]*1.10+1e-6 {
+					t.Fatalf("%v: endpoint flow %d rose from %.6f to %.6f after conflict edge %v",
+						arm, end, prev.FlowMbps[end], r.FlowMbps[end], e)
+				}
+			}
+			prev = r
+		}
+		if prev.AggregateMbps() > start.AggregateMbps()/float64(n)*1.5 {
+			t.Fatalf("%v: complete conflict graph still delivers %.3f of independent %.3f",
+				arm, prev.AggregateMbps(), start.AggregateMbps())
+		}
+	}
+}
+
+// TestConvergenceRandomGraphs: seeded random topologies — sense edges
+// with probability 0.3, each turned into a conflict with probability
+// 0.5, plus one-way hidden harm edges — must converge within the
+// iteration cap under both arms, with the residual below tolerance.
+func TestConvergenceRandomGraphs(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(9)
+		g := NewSynthetic(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				switch {
+				case rng.Float64() < 0.3:
+					g.AddSense(i, j)
+					if rng.Float64() < 0.5 {
+						g.AddHarm(i, j)
+						g.AddHarm(j, i)
+					}
+				case rng.Float64() < 0.15: // hidden: harm without sense
+					g.AddHarm(i, j)
+				}
+			}
+		}
+		for _, arm := range []Arm{ArmCSMA, ArmCMAP} {
+			opt := Options{Arm: arm}
+			r := Solve(g, opt)
+			if !r.Converged {
+				t.Fatalf("seed %d n=%d %v: not converged after %d iterations (residual %.2e)",
+					seed, n, arm, r.Iterations, r.Residual)
+			}
+			if r.Residual > 1e-9 {
+				t.Fatalf("seed %d %v: residual %.2e above tolerance", seed, arm, r.Residual)
+			}
+			for i, v := range r.FlowMbps {
+				if v < 0 || math.IsNaN(v) {
+					t.Fatalf("seed %d %v: flow %d goodput %v", seed, arm, i, v)
+				}
+				if x := r.Occupancy[i]; x < 0 || x > 1 {
+					t.Fatalf("seed %d %v: occupancy[%d]=%v out of [0,1]", seed, arm, i, x)
+				}
+			}
+		}
+	}
+}
+
+// TestIterationCapReported: with the cap forced to 1 the solver must
+// report non-convergence rather than a silent bad answer.
+func TestIterationCapReported(t *testing.T) {
+	g := symmetricRing(5)
+	r := Solve(g, Options{Arm: ArmCSMA, MaxIter: 1})
+	if r.Converged {
+		t.Fatal("one iteration on a ring cannot have converged")
+	}
+	if r.Iterations != 1 {
+		t.Fatalf("iterations = %d, want 1", r.Iterations)
+	}
+}
+
+// TestArqEfficiencyShape pins the CMAP duplicate amplifier's contract:
+// identity at zero loss, zero at total loss, always within [0, 1], and
+// worse than the raw survival everywhere in between (duplicates only
+// ever waste airtime).
+func TestArqEfficiencyShape(t *testing.T) {
+	if got := arqEfficiency(0); got != 1 {
+		t.Fatalf("arqEfficiency(0) = %v, want 1", got)
+	}
+	if got := arqEfficiency(1); got != 0 {
+		t.Fatalf("arqEfficiency(1) = %v, want 0", got)
+	}
+	for loss := 0.01; loss < 1; loss += 0.01 {
+		eta := arqEfficiency(loss)
+		if eta < 0 || eta > 1 {
+			t.Fatalf("arqEfficiency(%.2f) = %v out of [0,1]", loss, eta)
+		}
+		if eta > 1-loss {
+			t.Fatalf("arqEfficiency(%.2f) = %v above raw survival %v", loss, eta, 1-loss)
+		}
+	}
+}
+
+// TestOverlapProbBounds: the renewal overlap probability is a
+// probability, monotone in the interferer's occupancy, and exactly x at
+// a vanishing window.
+func TestOverlapProbBounds(t *testing.T) {
+	prev := 0.0
+	for x := 0.0; x <= 1.0001; x += 0.05 {
+		q := overlapProb(x, 0, 0.002)
+		if q < prev-1e-12 || q < 0 || q > 1 {
+			t.Fatalf("overlapProb(%.2f, 0, 2ms) = %v (prev %v)", x, q, prev)
+		}
+		if math.Abs(q-math.Min(x, 1)) > 1e-12 {
+			t.Fatalf("zero-width window: overlapProb(%.2f) = %v, want x", x, q)
+		}
+		prev = q
+	}
+	if q := overlapProb(0.5, 0.002, 0.002); q <= 0.5 || q > 1 {
+		t.Fatalf("finite window must add overlap risk: got %v", q)
+	}
+}

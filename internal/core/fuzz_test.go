@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+// FuzzDeferTable replays a random op stream — direct adds, §3.1
+// rule applications from interferer lists, conflict queries, clock
+// advances and prunes — against an independently written reference map
+// with the same contract: add keeps the later expiry, a query matches
+// the (∗ : p→q) and (v : p→∗) patterns strictly before expiry, prune
+// drops entries at or past their expiry. The node universe is small
+// (five addresses plus the wildcard) so collisions between patterns are
+// common rather than rare.
+func FuzzDeferTable(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 10, 2, 1, 2, 3, 0, 3, 5, 2, 1, 2, 3, 0})
+	f.Add([]byte{1, 0, 1, 2, 8, 2, 2, 1, 0, 1, 3, 200, 2, 2, 1, 0, 1})
+	f.Add([]byte{0, 5, 0, 0, 4, 0, 0, 5, 0, 9, 1, 1, 2, 0, 7, 2, 0, 0, 5, 3, 50})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab := newDeferTable()
+		ref := map[deferKey]sim.Time{}
+		now := sim.Time(0)
+
+		// addr maps a byte onto the five-node universe or the wildcard.
+		addr := func(b byte) frame.Addr {
+			if b%6 == 5 {
+				return anyAddr
+			}
+			return frame.AddrFromID(int(b % 6))
+		}
+		refAdd := func(k deferKey, exp sim.Time) {
+			if cur, ok := ref[k]; !ok || exp > cur {
+				ref[k] = exp
+			}
+		}
+
+		i := 0
+		next := func() byte {
+			if i >= len(data) {
+				return 0
+			}
+			b := data[i]
+			i++
+			return b
+		}
+		for i < len(data) {
+			switch op := next(); op % 5 {
+			case 0: // direct add
+				k := deferKey{
+					OurDst:   addr(next()),
+					Src:      addr(next()),
+					TheirDst: addr(next()),
+					Rate:     next() % 2,
+				}
+				exp := now + sim.Time(next()%32)*sim.Millisecond
+				tab.add(k, exp)
+				refAdd(k, exp)
+			case 1: // applyRules from a short interferer list
+				me := addr(next())
+				list := &frame.InterfererList{Src: addr(next())}
+				n := int(next()) % 3
+				for e := 0; e < n; e++ {
+					list.Entries = append(list.Entries, frame.InterferenceEntry{
+						Source:     addr(next()),
+						Interferer: addr(next()),
+						Rate:       next() % 2,
+					})
+				}
+				exp := now + sim.Time(next()%32)*sim.Millisecond
+				tab.applyRules(me, list, exp)
+				for _, e := range list.Entries {
+					if e.Source == me {
+						refAdd(deferKey{OurDst: list.Src, Src: e.Interferer, TheirDst: anyAddr, Rate: e.Rate}, exp)
+					}
+					if e.Interferer == me {
+						refAdd(deferKey{OurDst: anyAddr, Src: e.Source, TheirDst: list.Src, Rate: e.Rate}, exp)
+					}
+				}
+			case 2: // conflict query vs the reference's pattern match
+				dst, src, theirDst, rate := addr(next()), addr(next()), addr(next()), next()%2
+				want := false
+				if exp, ok := ref[deferKey{OurDst: anyAddr, Src: src, TheirDst: theirDst, Rate: rate}]; ok && exp > now {
+					want = true
+				}
+				if exp, ok := ref[deferKey{OurDst: dst, Src: src, TheirDst: anyAddr, Rate: rate}]; ok && exp > now {
+					want = true
+				}
+				if got := tab.conflicts(now, dst, src, theirDst, rate); got != want {
+					t.Fatalf("conflicts(now=%v, dst=%v, src=%v, theirDst=%v, rate=%d) = %v, reference says %v",
+						now, dst, src, theirDst, rate, got, want)
+				}
+			case 3: // advance the clock
+				now += sim.Time(next()%64) * sim.Millisecond
+			case 4: // prune both sides and compare sizes
+				tab.prune(now)
+				for k, exp := range ref {
+					if exp <= now {
+						delete(ref, k)
+					}
+				}
+				if tab.size() != len(ref) {
+					t.Fatalf("after prune at %v: size %d, reference %d", now, tab.size(), len(ref))
+				}
+			}
+		}
+		tab.prune(now)
+		for k, exp := range ref {
+			if exp <= now {
+				delete(ref, k)
+			}
+		}
+		if tab.size() != len(ref) {
+			t.Fatalf("final size %d, reference %d", tab.size(), len(ref))
+		}
+	})
+}

@@ -184,6 +184,18 @@ func (m *Medium) lookupGain(from, to int) (float64, bool) {
 	return 0, false
 }
 
+// GainMW returns the stored delivery-list gain from→to in mW and whether
+// the link clears the delivery floor. It is the read-only view of the
+// exact numbers Transmit fans out with, so consumers that reason about
+// the medium (the analytic conflict-graph extractor) share one ground
+// truth with the simulator instead of re-deriving gains from the model.
+func (m *Medium) GainMW(from, to int) (float64, bool) {
+	if from == to {
+		return 0, false
+	}
+	return m.lookupGain(from, to)
+}
+
 // RxPowerDBm returns the power at which node "to" hears node "from", in
 // dBm. Links below the delivery floor are recomputed from the model, so
 // the answer matches the dense gain matrix exactly even for pairs the

@@ -1,0 +1,153 @@
+package sim
+
+import "testing"
+
+// fuzzRecorder appends each fired event's id to a shared log, giving the
+// fuzzer an observable total order of execution.
+type fuzzRecorder struct{ fired *[]uint64 }
+
+func (r fuzzRecorder) HandleEvent(arg any) { *r.fired = append(*r.fired, arg.(uint64)) }
+
+// FuzzScheduler drives the agenda heap with a random interleaving of
+// Post, ResetAt, Stop and Step decoded from the fuzz input, against a
+// flat reference model (a plain slice, min by (deadline, seq)). Checked
+// invariants: events fire in exact (deadline, scheduling-order) order,
+// the clock lands on each fired deadline, Stop's return value matches
+// the model's notion of pending, a fired or stopped timer is inactive,
+// and Pending tracks the model's size after every operation.
+func FuzzScheduler(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 5, 3, 0, 3, 0, 3, 0})
+	f.Add([]byte{1, 0, 1, 1, 2, 0, 3, 0, 1, 64, 2, 1, 3, 0})
+	f.Add([]byte{0, 3, 1, 3, 1, 3, 3, 0, 2, 3, 0, 0, 3, 0, 3, 0, 3, 0})
+	f.Add([]byte{1, 7, 1, 7, 1, 7, 3, 0, 3, 0, 2, 7, 0, 1, 3, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewScheduler()
+		var fired []uint64
+		rec := fuzzRecorder{&fired}
+
+		type mev struct {
+			at  Time
+			seq int
+			id  uint64
+		}
+		var model []mev
+		const none = ^uint64(0)
+		var timers [4]Timer
+		timerEvent := [4]uint64{none, none, none, none}
+
+		indexOf := func(id uint64) int {
+			for i, e := range model {
+				if e.id == id {
+					return i
+				}
+			}
+			return -1
+		}
+		removeID := func(id uint64) {
+			if i := indexOf(id); i >= 0 {
+				model = append(model[:i], model[i+1:]...)
+			}
+		}
+		minEvent := func() mev {
+			best := 0
+			for i := 1; i < len(model); i++ {
+				if model[i].at < model[best].at ||
+					(model[i].at == model[best].at && model[i].seq < model[best].seq) {
+					best = i
+				}
+			}
+			return model[best]
+		}
+		var nextID uint64
+		seq := 0
+		step := func() {
+			if len(model) == 0 {
+				if s.Step() {
+					t.Fatal("Step fired with an empty model")
+				}
+				return
+			}
+			exp := minEvent()
+			before := len(fired)
+			if !s.Step() {
+				t.Fatalf("Step returned false with %d modelled events pending", len(model))
+			}
+			if len(fired) != before+1 {
+				t.Fatalf("Step fired %d events, want exactly 1", len(fired)-before)
+			}
+			if fired[before] != exp.id {
+				t.Fatalf("fired event %d, model says %d is next (at %v, seq %d)", fired[before], exp.id, exp.at, exp.seq)
+			}
+			if s.Now() != exp.at {
+				t.Fatalf("clock at %v after firing event with deadline %v", s.Now(), exp.at)
+			}
+			removeID(exp.id)
+			for ti, id := range timerEvent {
+				if id == exp.id {
+					timerEvent[ti] = none
+					if timers[ti].Active() {
+						t.Fatalf("timer %d still active after its event fired", ti)
+					}
+					if timers[ti].Stop() {
+						t.Fatalf("timer %d Stop succeeded after its event fired", ti)
+					}
+				}
+			}
+		}
+
+		for k := 0; k+1 < len(data); k += 2 {
+			op, d := data[k], data[k+1]
+			switch op % 4 {
+			case 0: // Post: uncancellable event at now + bounded delta
+				at := s.Now() + Time(d%64)*Microsecond
+				id := nextID
+				nextID++
+				s.Post(at, rec, id)
+				model = append(model, mev{at: at, seq: seq, id: id})
+				seq++
+			case 1: // ResetAt on a pooled timer (stopping it first if armed)
+				ti := int(d) % len(timers)
+				if timerEvent[ti] != none && indexOf(timerEvent[ti]) >= 0 {
+					if !timers[ti].Stop() {
+						t.Fatalf("timer %d pending in model but Stop returned false", ti)
+					}
+					removeID(timerEvent[ti])
+				}
+				at := s.Now() + Time(d%64)*Microsecond
+				id := nextID
+				nextID++
+				s.ResetAt(&timers[ti], at, rec, id)
+				if !timers[ti].Active() {
+					t.Fatalf("timer %d inactive immediately after ResetAt", ti)
+				}
+				if timers[ti].When() != at {
+					t.Fatalf("timer %d deadline %v, want %v", ti, timers[ti].When(), at)
+				}
+				timerEvent[ti] = id
+				model = append(model, mev{at: at, seq: seq, id: id})
+				seq++
+			case 2: // Stop
+				ti := int(d) % len(timers)
+				wasPending := timerEvent[ti] != none && indexOf(timerEvent[ti]) >= 0
+				if got := timers[ti].Stop(); got != wasPending {
+					t.Fatalf("timer %d Stop = %v, model says pending = %v", ti, got, wasPending)
+				}
+				if wasPending {
+					removeID(timerEvent[ti])
+				}
+				timerEvent[ti] = none
+			case 3:
+				step()
+			}
+			if s.Pending() != len(model) {
+				t.Fatalf("Pending() = %d, model holds %d", s.Pending(), len(model))
+			}
+		}
+		for len(model) > 0 {
+			step()
+		}
+		if s.Step() {
+			t.Fatal("agenda not empty after draining the model")
+		}
+	})
+}

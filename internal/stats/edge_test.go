@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestJainEdgeCases pins the fairness index on degenerate inputs: no
+// flows and all-zero flows report 0 (there is no allocation to be fair
+// about), a single flow and any all-equal allocation are perfectly fair,
+// and a zero-sum allocation collapses to 0 rather than dividing by zero.
+func TestJainEdgeCases(t *testing.T) {
+	if got := Jain(nil); got != 0 {
+		t.Fatalf("Jain(nil) = %v, want 0", got)
+	}
+	if got := Jain([]float64{}); got != 0 {
+		t.Fatalf("Jain(empty) = %v, want 0", got)
+	}
+	if got := Jain([]float64{0, 0, 0}); got != 0 {
+		t.Fatalf("Jain(all zero) = %v, want 0", got)
+	}
+	if got := Jain([]float64{3.7}); got != 1 {
+		t.Fatalf("Jain(single) = %v, want 1", got)
+	}
+	for _, n := range []int{2, 5, 50} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 2.5
+		}
+		if got := Jain(xs); got < 1-1e-12 || got > 1+1e-12 {
+			t.Fatalf("Jain(%d equal flows) = %v, want 1", n, got)
+		}
+	}
+	// A zero-sum allocation (only possible with signed inputs) must not
+	// report spurious fairness.
+	if got := Jain([]float64{-1, 1}); got != 0 {
+		t.Fatalf("Jain(zero-sum) = %v, want 0", got)
+	}
+}
+
+// TestLatencyEdgeCases pins the percentile surface on empty,
+// single-sample and all-equal recorders: empty reports zeros (not a
+// panic), and for one or many identical delays every percentile is that
+// delay exactly.
+func TestLatencyEdgeCases(t *testing.T) {
+	win := Window{Start: 0, End: 10 * sim.Second}
+
+	var empty Latency
+	empty.W = win
+	if empty.N() != 0 {
+		t.Fatalf("empty latency N = %d", empty.N())
+	}
+	for _, p := range []float64{empty.P50(), empty.P95(), empty.P99()} {
+		if p != 0 {
+			t.Fatalf("empty latency percentile = %v, want 0", p)
+		}
+	}
+
+	var one Latency
+	one.W = win
+	one.Record(sim.Second, 4*sim.Millisecond)
+	if one.N() != 1 {
+		t.Fatalf("single-sample N = %d", one.N())
+	}
+	for _, p := range []float64{one.P50(), one.P95(), one.P99()} {
+		if p != 4 {
+			t.Fatalf("single 4ms sample: percentile = %v ms, want 4", p)
+		}
+	}
+
+	var eq Latency
+	eq.W = win
+	for i := 0; i < 9; i++ {
+		eq.Record(sim.Second, 7*sim.Millisecond)
+	}
+	for _, p := range []float64{eq.P50(), eq.P95(), eq.P99()} {
+		if p != 7 {
+			t.Fatalf("all-equal 7ms samples: percentile = %v ms, want 7", p)
+		}
+	}
+
+	// Merging nil and empty recorders must be a no-op, not a panic.
+	eq.Merge(nil)
+	eq.Merge(&empty)
+	if eq.N() != 9 {
+		t.Fatalf("N changed to %d after merging nil/empty", eq.N())
+	}
+}
