@@ -17,10 +17,13 @@
 #   make fuzz-smoke short randomized pass of the checked-in fuzzers
 #                   (scheduler agenda, CMAP defer table) beyond their
 #                   seed corpora
+#   make conformance  the shared MAC conformance suite (every registered
+#                   arm: allocation, determinism, worker-equivalence and
+#                   conservation contracts) under the race detector
 #   make cover      coverage profile over every package (coverage.out)
-#                   with a hard floor on internal/analytic
+#                   with hard floors on internal/analytic and internal/mac
 #   make ci         the full gate: vet + race short tier + alloc gate + golden tier
-#                   + bench smoke + docs check + fuzz smoke + coverage floor
+#                   + conformance + bench smoke + docs check + fuzz smoke + coverage floor
 
 GO ?= go
 
@@ -28,7 +31,12 @@ GO ?= go
 # on it, so untested solver/extractor branches are a correctness risk.
 ANALYTIC_COVER_FLOOR ?= 85
 
-.PHONY: build test test-full race bench check vet golden alloc-check bench-json profile bench-smoke docs-check fuzz-smoke cover ci
+# Coverage floor for the MAC arm registry: every experiment and command
+# resolves protocols through it, so its lookup/family/error paths must
+# stay exercised.
+MAC_COVER_FLOOR ?= 85
+
+.PHONY: build test test-full race bench check vet golden alloc-check bench-json profile bench-smoke docs-check fuzz-smoke conformance cover ci
 
 build:
 	$(GO) build ./...
@@ -86,8 +94,16 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzScheduler -fuzztime=5s ./internal/sim
 	$(GO) test -run='^$$' -fuzz=FuzzDeferTable -fuzztime=5s ./internal/core
 
-# Coverage profile over the whole module plus a hard floor on the
-# analytic oracle (its numbers gate the cross-validation tier).
+# The shared MAC conformance suite under the race detector: every
+# registered arm's allocation (skipped under race), determinism,
+# worker-equivalence and backlog-conservation contracts, plus the
+# registry round-trip and topology sanity bounds.
+conformance:
+	$(GO) test -race -count=1 ./internal/mac/conformance
+
+# Coverage profile over the whole module plus hard floors on the
+# analytic oracle (its numbers gate the cross-validation tier) and the
+# MAC arm registry (every experiment resolves protocols through it).
 cover:
 	$(GO) test -short -coverprofile=coverage.out ./...
 	@$(GO) tool cover -func=coverage.out | tail -1
@@ -95,11 +111,16 @@ cover:
 	echo "internal/analytic coverage: $$pct% (floor $(ANALYTIC_COVER_FLOOR)%)"; \
 	awk "BEGIN{exit !($$pct >= $(ANALYTIC_COVER_FLOOR))}" || \
 		{ echo "internal/analytic coverage $$pct% below floor $(ANALYTIC_COVER_FLOOR)%"; exit 1; }
+	@pct=$$($(GO) test -cover ./internal/mac | grep -o '[0-9.]*%' | tr -d '%'); \
+	echo "internal/mac coverage: $$pct% (floor $(MAC_COVER_FLOOR)%)"; \
+	awk "BEGIN{exit !($$pct >= $(MAC_COVER_FLOOR))}" || \
+		{ echo "internal/mac coverage $$pct% below floor $(MAC_COVER_FLOOR)%"; exit 1; }
 
 ci: build vet
 	$(GO) test -race -short ./...
 	$(MAKE) alloc-check
 	$(MAKE) golden
+	$(MAKE) conformance
 	$(MAKE) bench-smoke
 	$(MAKE) docs-check
 	$(MAKE) fuzz-smoke

@@ -4,11 +4,19 @@
 //
 // Usage:
 //
-//	cmapbench [-seed N] [-scale quick|mid|paper] [-only fig12,mesh,loadsweep,...] [-parallel W] [-trials N] [-progress]
-//	          [-traffic cbr|poisson|onoff] [-load 0.5,1,2,4,8]
+//	cmapbench [-seed N] [-scale quick|mid|paper] [-only fig12,mesh,loadsweep,cssweep,...] [-parallel W] [-trials N] [-progress]
+//	          [-arms csma,cmap,rtscts,cs@-82,...] [-traffic cbr|poisson|onoff] [-load 0.5,1,2,4,8]
 //
 // "paper" runs the full 100-second, 50-topology methodology (slow);
 // "mid" is the EXPERIMENTS.md scale (30 s runs); "quick" is CI-sized.
+//
+// -arms overrides the arm set of every protocol-comparison figure with
+// a comma-separated list of internal/mac registry names — any
+// registered arm qualifies, including cs@<dBm> carrier-sense-threshold
+// family members; `-arms list` prints every name. Figures keep their
+// paper-default arms when the flag is unset. The cssweep section (its
+// own figure, beyond the paper) sweeps the cs@<dBm> family across
+// exposed and hidden pairs and flags the threshold knee.
 //
 // -traffic replaces the saturated senders of every flow-based figure
 // (calibration, the pair figures, interferers, APs, sender sweep,
@@ -56,12 +64,20 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/mac"
 	"repro/internal/phy"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
+
+// resolveArms validates the -arms flag against the MAC registry, so a
+// typo is a CLI error listing every registered name rather than a panic
+// mid-figure.
+func resolveArms(s string) ([]experiments.Protocol, error) {
+	return experiments.ParseArms(s)
+}
 
 // parseLoads parses the comma-separated -load list of Mb/s values.
 func parseLoads(s string) ([]float64, error) {
@@ -80,7 +96,8 @@ func parseLoads(s string) ([]float64, error) {
 func main() {
 	seed := flag.Uint64("seed", 1, "master seed (same seed → identical numbers)")
 	scale := flag.String("scale", "mid", "quick | mid | paper")
-	only := flag.String("only", "", "comma-separated subset: census,calibration,fig12,fig13,fig14,fig15,fig16,fig17,fig19,fig20,mesh,loadsweep")
+	only := flag.String("only", "", "comma-separated subset: census,calibration,fig12,fig13,fig14,fig15,fig16,fig17,fig19,fig20,mesh,loadsweep,cssweep")
+	armList := flag.String("arms", "", "override figure arm sets with registry names (e.g. csma,cmap,rtscts,cs@-82); \"list\" prints all arms")
 	trafficKind := flag.String("traffic", "", "arrival model for every figure: saturated | cbr | poisson | onoff (default saturated)")
 	loadList := flag.String("load", "0.5,1,2,4,8", "per-flow offered loads in Mb/s: the sweep uses the list, other figures the first value")
 	parallel := flag.Int("parallel", 0, "worker goroutines per experiment (0 = all CPUs, 1 = serial)")
@@ -131,6 +148,13 @@ func main() {
 		return
 	}
 
+	if *armList == "list" {
+		for _, name := range mac.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
 	var opt experiments.Options
 	switch *scale {
 	case "quick":
@@ -163,6 +187,15 @@ func main() {
 				fmt.Fprintln(os.Stderr)
 			}
 		}
+	}
+
+	if *armList != "" {
+		arms, err := resolveArms(*armList)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opt.Arms = arms
 	}
 
 	loads, err := parseLoads(*loadList)
@@ -240,9 +273,11 @@ func main() {
 		step("Figure 12 — exposed terminals", func() {
 			ex := experiments.ExposedTerminals(tb, opt)
 			fmt.Print(ex.Format())
-			fmt.Printf("median gain CMAP/CS = %.2fx (paper ≈2x); CMAP win=1 / CS = %.2fx (paper ≈1.5x)\n",
-				ex.Gain(experiments.CMAP, experiments.CSMAOn),
-				ex.Gain(experiments.CMAPWin1, experiments.CSMAOn))
+			if ex.Ran(experiments.CMAP, experiments.CMAPWin1, experiments.CSMAOn) {
+				fmt.Printf("median gain CMAP/CS = %.2fx (paper ≈2x); CMAP win=1 / CS = %.2fx (paper ≈1.5x)\n",
+					ex.Gain(experiments.CMAP, experiments.CSMAOn),
+					ex.Gain(experiments.CMAPWin1, experiments.CSMAOn))
+			}
 		})
 	}
 
@@ -270,9 +305,13 @@ func main() {
 	}
 
 	if sel("fig16") && fig13 != nil && fig15 != nil {
-		step("Figure 16 — header/trailer salvage", func() {
-			fmt.Print(experiments.HeaderTrailer(fig13, fig15).Format())
-		})
+		if fig13.Ran(experiments.CMAP) && fig15.Ran(experiments.CMAP) {
+			step("Figure 16 — header/trailer salvage", func() {
+				fmt.Print(experiments.HeaderTrailer(fig13, fig15).Format())
+			})
+		} else {
+			fmt.Println("(fig16 skipped: needs the cmap arm in figures 13 and 15; add cmap to -arms)")
+		}
 	}
 
 	if sel("fig17") {
@@ -281,12 +320,13 @@ func main() {
 			fmt.Print(res.Format())
 			for _, n := range res.Ns {
 				cs, cm := res.Mean[experiments.CSMAOn][n], res.Mean[experiments.CMAP][n]
-				if cs > 0 {
+				if cs > 0 && cm > 0 {
 					fmt.Printf("N=%d aggregate gain CMAP/CS = %.2fx (paper 1.21–1.47x)\n", n, cm/cs)
 				}
 			}
-			fmt.Printf("per-sender median gain = %.2fx (paper 1.8x)\n",
-				res.PerSender[experiments.CMAP].Median()/res.PerSender[experiments.CSMAOn].Median())
+			if csd, cmd := res.PerSender[experiments.CSMAOn], res.PerSender[experiments.CMAP]; csd != nil && cmd != nil && csd.Median() > 0 {
+				fmt.Printf("per-sender median gain = %.2fx (paper 1.8x)\n", cmd.Median()/csd.Median())
+			}
 		})
 	}
 
@@ -304,6 +344,10 @@ func main() {
 	if sel("fig20") {
 		step("Figure 20 — variable bit-rates", func() {
 			for _, rs := range experiments.VariableBitRates(tb, opt) {
+				if !rs.Ex.Ran(experiments.CSMAOn, experiments.CMAP) {
+					fmt.Print(rs.Ex.Format())
+					continue
+				}
 				fmt.Printf("@%g Mb/s: CS median %.2f, CMAP median %.2f → %.2fx\n",
 					phy.RateByID(rs.Rate).Mbps,
 					rs.Ex.Median(experiments.CSMAOn), rs.Ex.Median(experiments.CMAP),
@@ -326,6 +370,13 @@ func main() {
 			res := experiments.Mesh(tb, meshOpt)
 			fmt.Printf("CMAP %.2f Mb/s vs CSMA %.2f Mb/s → gain %.2fx (paper 1.52x)\n",
 				res.CMAP.Mean(), res.CSMA.Mean(), res.Gain())
+		})
+	}
+
+	if sel("cssweep") {
+		step("CS-threshold sweep — goodput vs carrier-sense threshold (beyond the paper)", func() {
+			res := experiments.CSThresholdSweep(tb, opt, nil)
+			fmt.Print(res.Format())
 		})
 	}
 

@@ -5,9 +5,16 @@
 // Usage:
 //
 //	cmapsim [-seed N] [-topology exposed|inrange|hidden] [-protocol cmap|cmap1|dcf|dcf-nocs|dcf-nocs-noack]
-//	        [-duration 30s] [-index 0] [-trace N] [-trials 1] [-parallel 0]
+//	        [-arm csma|rtscts|cs@-82|...] [-duration 30s] [-index 0] [-trace N] [-trials 1] [-parallel 0]
 //	        [-traffic cbr|poisson|onoff] [-load 2.0] [-churn 500ms] [-predict]
 //	cmapsim -scenario gridcity|clusters|disk [-nodes 200] ...
+//
+// -arm runs any arm of the internal/mac registry by name — including
+// family members like cs@-82 (CSMA with a −82 dBm carrier-sense
+// threshold) — and overrides -protocol; `-arm list` prints every
+// registered name. The legacy -protocol flag keeps its richer per-flow
+// counter report for the protocols it names. When neither flag is set
+// and the -scenario suggests arms, the first suggestion runs.
 //
 // -predict prints the analytic oracle's per-flow saturated-goodput
 // prediction (internal/analytic: conflict-graph extraction plus the
@@ -37,11 +44,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/analytic"
 	"repro/internal/core"
 	"repro/internal/csma"
+	"repro/internal/mac"
+	"repro/internal/phy"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -53,20 +64,31 @@ import (
 // predictPair runs the analytic oracle over the selected pair and prints
 // its per-flow saturated prediction, or explains why the protocol has no
 // analytic model. The extraction medium is built read-only from the same
-// testbed the simulation uses, so both read identical gains.
+// testbed the simulation uses, so both read identical gains. Registry
+// arm names work too: "csma" maps to the CSMA model and "cs@<dBm>"
+// additionally overrides the sensing threshold in the extraction.
 func predictPair(tb *topo.Testbed, pair topo.LinkPair, protocol string, seed uint64) {
 	var arm analytic.Arm
-	switch protocol {
-	case "dcf":
+	var cfg analytic.ExtractConfig
+	switch {
+	case protocol == "dcf" || protocol == "csma":
 		arm = analytic.ArmCSMA
-	case "cmap", "cmap1":
+	case protocol == "cmap" || protocol == "cmap1":
 		arm = analytic.ArmCMAP
+	case strings.HasPrefix(protocol, "cs@"):
+		thr, err := strconv.ParseFloat(strings.TrimPrefix(protocol, "cs@"), 64)
+		if err != nil {
+			fmt.Printf("predict: bad cs@ threshold in %q\n", protocol)
+			return
+		}
+		arm = analytic.ArmCSMA
+		cfg.CSThresholdDBm = thr
 	default:
 		fmt.Printf("predict: no analytic model for protocol %q\n", protocol)
 		return
 	}
 	m := tb.Build(sim.NewScheduler(), sim.NewRNG(seed).Stream(1))
-	g, err := analytic.Extract(m, []topo.Link{pair.A, pair.B}, analytic.ExtractConfig{})
+	g, err := analytic.Extract(m, []topo.Link{pair.A, pair.B}, cfg)
 	if err != nil {
 		fmt.Printf("predict: %v\n", err)
 		return
@@ -209,19 +231,97 @@ func runTrial(tb *topo.Testbed, pair topo.LinkPair, protocol string, spec traffi
 	return res
 }
 
+// resolveArm validates an -arm flag value against the internal/mac
+// registry, so a typo is a CLI error that lists every registered name
+// instead of a panic deep in a trial.
+func resolveArm(name string) (mac.Arm, error) {
+	return mac.Lookup(name)
+}
+
+// runTrialArm is runTrial for registry arms: the same scenario replay,
+// but the stations are built through the internal/mac registry by name,
+// so every registered arm — RTS/CTS, the cs@<dBm> family, and anything
+// registered later — gets the microscope without a bespoke case. The
+// detail report sticks to the arm-independent surface (goodput and MAC
+// drops); the legacy -protocol path keeps its protocol-specific
+// counters.
+func runTrialArm(tb *topo.Testbed, pair topo.LinkPair, armName string, spec traffic.Spec, d sim.Time, seed uint64, detail bool) trialResult {
+	arm := mac.MustLookup(armName)
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(seed)
+	m := tb.Build(sched, rng.Stream(1))
+	warm := d * 2 / 5
+	meters := [2]*stats.Meter{
+		{Start: warm, End: d},
+		{Start: warm, End: d},
+	}
+	flows := [2]topo.Link{pair.A, pair.B}
+	res := trialResult{}
+	var sources [2]*traffic.Source
+	var senders [2]mac.Node
+	for i, f := range flows {
+		tx := arm.New(f.Src, m, rng.Stream(uint64(100+i)), mac.Options{Rate: phy.Rate6Mbps})
+		rx := arm.New(f.Dst, m, rng.Stream(uint64(200+i)), mac.Options{Rate: phy.Rate6Mbps})
+		rx.SetMeter(meters[i])
+		senders[i] = tx
+		if spec.Kind == traffic.Saturated {
+			tx.SetSaturated(f.Dst)
+			continue
+		}
+		res.lats[i] = &stats.Latency{W: stats.Window{Start: warm, End: d}}
+		src := traffic.NewSource(sched, rng.Stream(uint64(300+i)), spec, tx, f.Dst)
+		src.EnableLatency(tx.LatencyWindow())
+		sources[i] = src
+		lat := res.lats[i]
+		fsrc := f.Src
+		rx.SetOnDeliver(func(from int, seq uint32, now sim.Time) {
+			if from != fsrc {
+				return
+			}
+			if at, ok := src.ArrivalTime(seq); ok {
+				lat.Record(now, now-at)
+			}
+		})
+		src.Start()
+	}
+	sched.Run(d)
+	if detail {
+		for i, f := range flows {
+			fmt.Printf("flow %d→%d: %.2f Mb/s  macDropped=%d\n",
+				f.Src, f.Dst, meters[i].Mbps(), senders[i].MacDropped())
+		}
+	}
+	res.flows = [2]float64{meters[0].Mbps(), meters[1].Mbps()}
+	res.agg = res.flows[0] + res.flows[1]
+	for i, src := range sources {
+		if src == nil {
+			continue
+		}
+		st := src.Stats()
+		res.drops += st.Dropped
+		if detail {
+			fmt.Printf("flow %d→%d arrivals: offered=%d accepted=%d dropped=%d  latency p50=%.2fms p95=%.2fms p99=%.2fms (n=%d)\n",
+				flows[i].Src, flows[i].Dst, st.Offered, st.Accepted, st.Dropped,
+				res.lats[i].P50(), res.lats[i].P95(), res.lats[i].P99(), res.lats[i].N())
+		}
+	}
+	return res
+}
+
 // buildTestbed realises the chosen layout and, for the generated
 // scenarios, runs the link-measurement pass over it so the Figure 11
 // topology pickers work on top. The pass is O(n²) — cmapsim sizes are
-// CLI-scale, not the 1000-node benchmark regime. The second result is
-// the scenario's suggested workload (saturated unless the layout says
-// otherwise), which the -traffic flag overrides.
-func buildTestbed(scenario string, nodes int, seed uint64) (*topo.Testbed, traffic.Spec, error) {
+// CLI-scale, not the 1000-node benchmark regime. The second and third
+// results are the scenario's suggested workload and MAC arm set
+// (saturated and driver-default unless the layout says otherwise),
+// which the -traffic and -arm/-protocol flags override.
+func buildTestbed(scenario string, nodes int, seed uint64) (*topo.Testbed, traffic.Spec, []string, error) {
 	switch scenario {
 	case "testbed":
 		if nodes <= 0 {
 			nodes = 50
 		}
-		return topo.NewTestbed(nodes, seed), traffic.Saturate(), nil
+		return topo.NewTestbed(nodes, seed), traffic.Saturate(), nil, nil
 	case "gridcity":
 		// Blocks of 300 m keep same-block links inside the strong-signal
 		// range of the urban model, so potential transmission links exist.
@@ -234,7 +334,7 @@ func buildTestbed(scenario string, nodes int, seed uint64) (*topo.Testbed, traff
 			side++
 		}
 		sc := topo.GridCity(side, side, perBlock, 300, seed)
-		return sc.Testbed(), sc.Traffic, nil
+		return sc.Testbed(), sc.Traffic, sc.Arms, nil
 	case "clusters":
 		// Tight hotspot cells a block apart: in-cell links are strong,
 		// neighbouring cells interact only through carrier sense.
@@ -247,21 +347,22 @@ func buildTestbed(scenario string, nodes int, seed uint64) (*topo.Testbed, traff
 			cells = 1
 		}
 		sc := topo.ClusteredAPs(cells, clients, 400, 12, seed)
-		return sc.Testbed(), sc.Traffic, nil
+		return sc.Testbed(), sc.Traffic, sc.Arms, nil
 	case "disk":
 		if nodes <= 0 {
 			nodes = 200
 		}
 		sc := topo.UniformDisk(nodes, 200, seed)
-		return sc.Testbed(), sc.Traffic, nil
+		return sc.Testbed(), sc.Traffic, sc.Arms, nil
 	}
-	return nil, traffic.Spec{}, fmt.Errorf("unknown scenario %q", scenario)
+	return nil, traffic.Spec{}, nil, fmt.Errorf("unknown scenario %q", scenario)
 }
 
 func main() {
 	seed := flag.Uint64("seed", 1, "master seed")
 	topology := flag.String("topology", "exposed", "exposed | inrange | hidden")
 	protocol := flag.String("protocol", "cmap", "cmap | cmap1 | dcf | dcf-nocs | dcf-nocs-noack")
+	armFlag := flag.String("arm", "", "registry MAC arm name (e.g. rtscts, cs@-82); overrides -protocol; \"list\" prints all arms")
 	duration := flag.Duration("duration", 30*time.Second, "virtual run time")
 	index := flag.Int("index", 0, "which sampled topology to run")
 	traceN := flag.Int("trace", 0, "print the last N link-layer events of the first flow's endpoints (single trial only)")
@@ -275,17 +376,41 @@ func main() {
 	predict := flag.Bool("predict", false, "also print the analytic oracle's saturated per-flow prediction")
 	flag.Parse()
 
-	switch *protocol {
-	case "cmap", "cmap1", "dcf", "dcf-nocs", "dcf-nocs-noack":
-	default:
-		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocol)
-		os.Exit(2)
+	if *armFlag == "list" {
+		for _, name := range mac.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *armFlag != "" {
+		if _, err := resolveArm(*armFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		switch *protocol {
+		case "cmap", "cmap1", "dcf", "dcf-nocs", "dcf-nocs-noack":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocol)
+			os.Exit(2)
+		}
 	}
 
-	tb, spec, err := buildTestbed(*scenario, *nodes, *seed)
+	tb, spec, suggested, err := buildTestbed(*scenario, *nodes, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	// With neither -arm nor -protocol chosen explicitly, a scenario that
+	// suggests arms picks the station type (mirroring how an unset
+	// -traffic falls back to the scenario's suggested workload).
+	if *armFlag == "" && len(suggested) > 0 {
+		protocolSet := false
+		flag.Visit(func(f *flag.Flag) { protocolSet = protocolSet || f.Name == "protocol" })
+		if !protocolSet {
+			*armFlag = suggested[0]
+			fmt.Printf("arm: %s (scenario suggestion; override with -arm or -protocol)\n", *armFlag)
+		}
 	}
 	if *trafficKind != "" {
 		kind, err := traffic.ParseKind(*trafficKind)
@@ -342,14 +467,25 @@ func main() {
 		tb.RSS[pair.B.Src][pair.B.Dst], tb.PRR[pair.B.Src][pair.B.Dst],
 		tb.RSS[pair.B.Src][pair.A.Src])
 	if *predict {
-		predictPair(tb, pair, *protocol, *seed)
+		name := *protocol
+		if *armFlag != "" {
+			name = *armFlag
+		}
+		predictPair(tb, pair, name, *seed)
 	}
 
-	d := sim.Duration(*duration)
+	// trial dispatches one replay: through the registry for -arm, through
+	// the protocol-specific microscope for the legacy -protocol names.
+	trial := func(seed uint64, detail bool, traceN int) trialResult {
+		if *armFlag != "" {
+			return runTrialArm(tb, pair, *armFlag, spec, sim.Duration(*duration), seed, detail)
+		}
+		return runTrial(tb, pair, *protocol, spec, sim.Duration(*duration), seed, detail, traceN)
+	}
 	if *trials <= 1 {
 		// The original single-run microscope: channel randomness comes
 		// from the same master-seed stream as the topology sampling.
-		res := runTrial(tb, pair, *protocol, spec, d, rng.Uint64(), true, *traceN)
+		res := trial(rng.Uint64(), true, *traceN)
 		fmt.Printf("aggregate: %.2f Mb/s\n", res.agg)
 		return
 	}
@@ -358,7 +494,7 @@ func main() {
 	// seed and the trial index, so any -parallel value reproduces the
 	// same numbers in the same order.
 	results := runner.Map(runner.Config{Workers: *parallel}, *trials, func(i int) trialResult {
-		return runTrial(tb, pair, *protocol, spec, d, *seed+uint64(i)*0x9e37+1, false, 0)
+		return trial(*seed+uint64(i)*0x9e37+1, false, 0)
 	})
 	var agg, a, b stats.Dist
 	var pooled stats.Latency

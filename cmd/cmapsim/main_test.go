@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The -arm flag resolves through the internal/mac registry, so a typo
+// must die at flag validation with the full menu of registered names,
+// not deep inside a trial.
+func TestResolveArmUnknown(t *testing.T) {
+	_, err := resolveArm("bogus")
+	if err == nil {
+		t.Fatal("resolveArm accepted an unregistered arm")
+	}
+	for _, name := range []string{"bogus", "csma", "cmap", "rtscts", "cs@<dBm>"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention %q", err, name)
+		}
+	}
+}
+
+func TestResolveArmFamilyMember(t *testing.T) {
+	arm, err := resolveArm("cs@-82")
+	if err != nil {
+		t.Fatalf("resolveArm(cs@-82): %v", err)
+	}
+	if got := arm.Name(); got != "cs@-82" {
+		t.Errorf("arm.Name() = %q, want cs@-82", got)
+	}
+}
+
+func TestResolveArmMalformedFamilyMember(t *testing.T) {
+	_, err := resolveArm("cs@junk")
+	if err == nil {
+		t.Fatal("resolveArm accepted a malformed cs@ member")
+	}
+	if !strings.Contains(err.Error(), "cs@junk") {
+		t.Errorf("error %q does not name the malformed member", err)
+	}
+}

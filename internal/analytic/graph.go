@@ -207,6 +207,10 @@ type ExtractConfig struct {
 	// concurrent sender counts as an interferer — the paper's l_interf
 	// (default 0.5, §3.1).
 	HarmLossFrac float64
+	// CSThresholdDBm, when non-zero, overrides the medium's carrier-sense
+	// threshold in the sensing-edge classification — the analytic
+	// counterpart of the cs@<dBm> arm family's per-node override.
+	CSThresholdDBm float64
 }
 
 func (c ExtractConfig) withDefaults() ExtractConfig {
@@ -310,7 +314,11 @@ func Extract(m *medium.Medium, flows []topo.Link, cfg ExtractConfig) (*Graph, er
 	params := m.Params()
 	wire := (&frame.Dot11Data{PayloadLen: uint16(cfg.PayloadBytes)}).WireSize()
 	ctrlWire := (&frame.Control{}).WireSize()
-	csMW := radio.DBmToMW(params.CSThresholdDBm)
+	csDBm := params.CSThresholdDBm
+	if cfg.CSThresholdDBm != 0 {
+		csDBm = cfg.CSThresholdDBm
+	}
+	csMW := radio.DBmToMW(csDBm)
 
 	n := len(flows)
 	g := &Graph{

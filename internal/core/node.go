@@ -79,12 +79,19 @@ type rxVpkt struct {
 
 // rxFlow is the receiver-side state for one sender.
 type rxFlow struct {
-	srcID    int
-	srcAddr  frame.Addr
-	cum      uint32
-	sack     map[uint32]struct{}
-	cur      *rxVpkt
-	finTimer *sim.Timer
+	srcID   int
+	srcAddr frame.Addr
+	cum     uint32
+	sack    map[uint32]struct{}
+	cur     *rxVpkt
+	// curBuf and gotBuf are the reusable storage behind cur: one inbound
+	// virtual packet is tracked per sender at a time, so reception state
+	// needs no per-vpkt heap objects. finTimer is the caller-owned
+	// finalisation timer; finVseq records which virtual packet armed it.
+	curBuf   rxVpkt
+	gotBuf   []bool
+	finTimer sim.Timer
+	finVseq  uint32
 	// pendExpected and pendLost accumulate loss evidence since the last
 	// ACK, so every ACK reports the loss rate "over the previous window
 	// of packets" (§3.3) — including virtual packets whose own trailer
@@ -143,6 +150,25 @@ type Node struct {
 
 	// lastRelay rate-limits two-hop list relays per original source.
 	lastRelay map[frame.Addr]sim.Time
+
+	// Reusable buffers for the steady-state virtual-packet pipeline: one
+	// virtual packet is in flight per sender and the medium completes all
+	// receptions of a frame before its tx-done, so the staged vpktTx, the
+	// header/trailer/data frames, the candidate sequence list and the
+	// defer-check target list can all live in embedded storage instead of
+	// fresh heap objects per frame.
+	seqBuf  []uint32
+	curBuf  vpktTx
+	hdrBuf  frame.Control
+	trlBuf  frame.Control
+	dataBuf frame.Data
+	targBuf [1]frame.Addr
+
+	// ackFree recycles receiver-side ACK attempts; inflightAck is the one
+	// whose frame is currently on the air (the radio transmits at most one
+	// frame at a time), recycled at tx-done.
+	ackFree     []*ackAttempt
+	inflightAck *ackAttempt
 
 	stat Stats
 }
@@ -337,23 +363,27 @@ const (
 	evBroadcastTick
 )
 
-// HandleEvent implements sim.EventHandler for the fixed timer callbacks.
+// HandleEvent implements sim.EventHandler: fixed timer callbacks arrive
+// as macEvent kinds; the receiver side's virtual-packet finalisation
+// timer carries its rxFlow, and deferred ACK transmissions their pooled
+// attempt, so neither needs a closure allocation.
 func (n *Node) HandleEvent(arg any) {
-	switch arg.(macEvent) {
-	case evTrySend:
-		n.trySend()
-	case evRetry:
-		n.trySend()
-	case evDefer:
-		n.trySend()
-	case evBackoff:
-		n.trySend()
-	case evAckWait:
-		n.ackWaitExpired()
-	case evRetxTimeout:
-		n.retxTimedOut()
-	case evBroadcastTick:
-		n.broadcastTick()
+	switch v := arg.(type) {
+	case macEvent:
+		switch v {
+		case evTrySend, evRetry, evDefer, evBackoff:
+			n.trySend()
+		case evAckWait:
+			n.ackWaitExpired()
+		case evRetxTimeout:
+			n.retxTimedOut()
+		case evBroadcastTick:
+			n.broadcastTick()
+		}
+	case *rxFlow:
+		n.vpktFinExpired(v)
+	case *ackAttempt:
+		n.runAckAttempt(v)
 	}
 }
 
@@ -433,8 +463,14 @@ func (n *Node) OnCorrupt(phy.RxInfo) { n.stat.Corrupt++ }
 func (n *Node) OnCarrier(bool) {}
 
 // OnTxDone implements phy.Handler: drives the back-to-back virtual packet
-// chain.
-func (n *Node) OnTxDone(frame.Frame) {
+// chain and recycles the receiver side's ACK attempt once its frame has
+// left the air (every addressee has decoded it by now — receptions
+// complete before tx-done).
+func (n *Node) OnTxDone(f frame.Frame) {
+	if _, ok := f.(*frame.Ack); ok && n.inflightAck != nil {
+		n.ackFree = append(n.ackFree, n.inflightAck)
+		n.inflightAck = nil
+	}
 	if n.cur != nil {
 		n.continueVpkt()
 	}

@@ -32,9 +32,13 @@ type obsEntry struct {
 }
 
 // observations is the per-node table of overheard transmissions.
+// Pruned entries park on a free list for reuse, so the steady-state
+// observation flow (one entry per overheard virtual packet) does not
+// touch the allocator.
 type observations struct {
 	cfg     Config
 	entries map[obsKey]*obsEntry
+	free    []*obsEntry
 }
 
 func newObservations(cfg Config) *observations {
@@ -51,7 +55,13 @@ func (o *observations) retention() sim.Time {
 func (o *observations) upsert(k obsKey, dst frame.Addr, rate uint8, start, end, visible sim.Time) *obsEntry {
 	e, ok := o.entries[k]
 	if !ok {
-		e = &obsEntry{Src: k.Src, Dst: dst, Rate: rate, VSeq: k.VSeq,
+		if f := len(o.free); f > 0 {
+			e = o.free[f-1]
+			o.free = o.free[:f-1]
+		} else {
+			e = &obsEntry{}
+		}
+		*e = obsEntry{Src: k.Src, Dst: dst, Rate: rate, VSeq: k.VSeq,
 			EstStart: start, EstEnd: end, VisibleAt: visible}
 		o.entries[k] = e
 		return e
@@ -123,6 +133,7 @@ func (o *observations) prune(now sim.Time) {
 	for k, e := range o.entries {
 		if e.EstEnd < horizon {
 			delete(o.entries, k)
+			o.free = append(o.free, e)
 		}
 	}
 }

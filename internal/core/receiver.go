@@ -41,14 +41,27 @@ func (n *Node) beginVpkt(f *rxFlow, vseq uint32, start sim.Time, expected int, r
 		if expected <= 0 {
 			expected = n.cfg.Nvpkt
 		}
-		f.cur = &rxVpkt{
+		// Reception state lives in the flow's embedded buffer: one inbound
+		// virtual packet is tracked per sender at a time.
+		got := f.gotBuf
+		if cap(got) < expected {
+			got = make([]bool, expected)
+		} else {
+			got = got[:expected]
+			for i := range got {
+				got[i] = false
+			}
+		}
+		f.gotBuf = got
+		f.curBuf = rxVpkt{
 			vseq:     vseq,
 			start:    start,
 			expected: expected,
-			got:      make([]bool, expected),
+			got:      got,
 			rate:     rate,
 			bcast:    bcast,
 		}
+		f.cur = &f.curBuf
 		// Finalise even if the trailer never arrives (lost or sender
 		// aborted): a grace period after the expected end. With trailers
 		// disabled (ablation) this timer is also the ACK trigger, so it
@@ -58,26 +71,31 @@ func (n *Node) beginVpkt(f *rxFlow, vseq uint32, start sim.Time, expected int, r
 		if n.cfg.DisableTrailers {
 			grace = n.cfg.Turnaround
 		}
-		f.finTimer = n.sched.At(end+grace, func() {
-			f.finTimer = nil
-			if f.cur == nil || f.cur.vseq != vseq {
-				return
-			}
-			gotAny := false
-			for _, g := range f.cur.got {
-				if g {
-					gotAny = true
-					break
-				}
-			}
-			wasBcast := f.cur.bcast
-			n.finalizeVpkt(f)
-			if n.cfg.DisableTrailers && !wasBcast && gotAny {
-				n.sendAck(f, vseq, 10)
-			}
-		})
+		f.finVseq = vseq
+		n.sched.ResetAt(&f.finTimer, end+grace, n, f)
 	}
 	return f.cur
+}
+
+// vpktFinExpired fires when the finalisation grace period of the virtual
+// packet that armed f's timer passes without a trailer.
+func (n *Node) vpktFinExpired(f *rxFlow) {
+	if f.cur == nil || f.cur.vseq != f.finVseq {
+		return
+	}
+	gotAny := false
+	for _, g := range f.cur.got {
+		if g {
+			gotAny = true
+			break
+		}
+	}
+	vseq := f.cur.vseq
+	wasBcast := f.cur.bcast
+	n.finalizeVpkt(f)
+	if n.cfg.DisableTrailers && !wasBcast && gotAny {
+		n.sendAck(f, vseq, 10)
+	}
 }
 
 // rxHeader handles a virtual-packet header addressed to us.
@@ -148,9 +166,7 @@ func (n *Node) finalizeVpkt(f *rxFlow) {
 		return
 	}
 	f.cur = nil
-	if f.finTimer.Stop() {
-		f.finTimer = nil
-	}
+	f.finTimer.Stop()
 	received := 0
 	for _, g := range v.got {
 		if g {
@@ -205,6 +221,28 @@ func (n *Node) finalizeVpkt(f *rxFlow) {
 	}
 }
 
+// ackAttempt is one pending cumulative-ACK transmission: the frame plus
+// its remaining retry budget. Attempts recycle through the node's free
+// list once the frame has left the air (or the budget runs out), so the
+// per-virtual-packet ACK path allocates nothing in steady state.
+type ackAttempt struct {
+	ack  frame.Ack
+	left int
+}
+
+// getAckAttempt pops a recycled attempt (refilled at OnTxDone), with the
+// bitmap truncated for reuse — BitmapSet appends explicit zero bytes, so
+// stale contents can never leak through.
+func (n *Node) getAckAttempt() *ackAttempt {
+	if k := len(n.ackFree); k > 0 {
+		a := n.ackFree[k-1]
+		n.ackFree = n.ackFree[:k-1]
+		a.ack = frame.Ack{Bitmap: a.ack.Bitmap[:0]}
+		return a
+	}
+	return &ackAttempt{}
+}
+
 // sendAck emits the cumulative windowed ACK for flow f after the software
 // turnaround, retrying briefly if the radio is mid-transmission.
 func (n *Node) sendAck(f *rxFlow, vseq uint32, budget int) {
@@ -213,32 +251,37 @@ func (n *Node) sendAck(f *rxFlow, vseq uint32, budget int) {
 		loss = float64(f.pendLost) / float64(f.pendExpected)
 	}
 	f.pendExpected, f.pendLost = 0, 0
-	ack := &frame.Ack{
-		Src:      n.addr,
-		Dst:      f.srcAddr,
-		CumSeq:   f.cum,
-		VSeq:     vseq,
-		LossRate: loss,
-	}
+	aa := n.getAckAttempt()
+	aa.left = budget
+	aa.ack.Src = n.addr
+	aa.ack.Dst = f.srcAddr
+	aa.ack.CumSeq = f.cum
+	aa.ack.VSeq = vseq
+	aa.ack.LossRate = loss
 	limit := uint32(2 * n.cfg.windowPackets())
 	for s := range f.sack {
 		if s >= f.cum && s-f.cum < limit {
-			ack.BitmapSet(int(s - f.cum))
+			aa.ack.BitmapSet(int(s - f.cum))
 		}
 	}
-	var attempt func(left int)
-	attempt = func(left int) {
-		if left <= 0 {
-			return
-		}
-		if n.radio.Transmitting() {
-			n.sched.After(200*sim.Microsecond, func() { attempt(left - 1) })
-			return
-		}
-		n.stat.AcksSent++
-		n.radio.Transmit(ack, phy.RateByID(n.cfg.ControlRate))
+	n.sched.PostAfter(n.turnaroundDelay(), n, aa)
+}
+
+// runAckAttempt transmits a pending ACK as soon as the radio is free,
+// giving up (and recycling the attempt) after the retry budget.
+func (n *Node) runAckAttempt(aa *ackAttempt) {
+	if aa.left <= 0 {
+		n.ackFree = append(n.ackFree, aa)
+		return
 	}
-	n.sched.After(n.turnaroundDelay(), func() { attempt(budget) })
+	if n.radio.Transmitting() {
+		aa.left--
+		n.sched.PostAfter(200*sim.Microsecond, n, aa)
+		return
+	}
+	n.stat.AcksSent++
+	n.inflightAck = aa
+	n.radio.Transmit(&aa.ack, phy.RateByID(n.cfg.ControlRate))
 }
 
 // turnaroundDelay draws the software-MAC-to-PHY latency with the

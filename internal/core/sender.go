@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/frame"
@@ -126,10 +127,15 @@ func (n *Node) candidate(f *txFlow) ([]uint32, bool) {
 			return nil, false
 		}
 	}
-	seqs := make([]uint32, avail)
-	for i := range seqs {
-		seqs[i] = f.nextPktSeq + uint32(i)
+	// The candidate list lives in the node's reusable buffer: only one
+	// virtual packet is ever staged at a time (trySend bails while cur is
+	// set), and a discarded candidate for a deferring flow is dead before
+	// the next flow's candidate overwrites it.
+	seqs := n.seqBuf[:0]
+	for i := 0; i < avail; i++ {
+		seqs = append(seqs, f.nextPktSeq+uint32(i))
 	}
+	n.seqBuf = seqs
 	return seqs, false
 }
 
@@ -149,7 +155,8 @@ func (n *Node) deferConflictEnd(now sim.Time, f *txFlow) (sim.Time, bool) {
 	}
 	targets := f.bcastTargets
 	if !f.bcast {
-		targets = []frame.Addr{f.dst}
+		n.targBuf[0] = f.dst
+		targets = n.targBuf[:]
 	}
 	n.obs.ongoing(now, func(e *obsEntry) {
 		if e.Src == n.addr {
@@ -180,7 +187,10 @@ func (n *Node) deferConflictEnd(now sim.Time, f *txFlow) (sim.Time, bool) {
 func (n *Node) startVpkt(f *txFlow, seqs []uint32, isRetx bool) {
 	if isRetx {
 		f.retx = f.retx[len(seqs):]
-		seqs = append([]uint32(nil), seqs...)
+		// Copy into the reusable buffer: seqs aliases f.retx, which the
+		// next retransmission timeout rebuilds in place.
+		n.seqBuf = append(n.seqBuf[:0], seqs...)
+		seqs = n.seqBuf
 	} else {
 		f.nextPktSeq += uint32(len(seqs))
 		if !f.saturated {
@@ -194,17 +204,22 @@ func (n *Node) startVpkt(f *txFlow, seqs []uint32, isRetx bool) {
 	}
 	vseq := n.nextVSeq
 	n.nextVSeq++
-	n.cur = &vpktTx{flow: f, vseq: vseq, seqs: seqs, isRetx: isRetx}
+	// The staged virtual packet and its header frame live in embedded
+	// buffers: only one virtual packet is in flight per sender, and the
+	// medium completes every reception of a frame before the sender's
+	// tx-done, so by the time a buffer is rewritten nobody reads it.
+	n.curBuf = vpktTx{flow: f, vseq: vseq, seqs: seqs, isRetx: isRetx}
+	n.cur = &n.curBuf
 	n.stat.VpktsSent++
 	txMicros := uint32(n.cfg.vpktAirtime(len(seqs)) / sim.Microsecond)
-	hdr := &frame.Control{
+	n.hdrBuf = frame.Control{
 		Src:          n.addr,
 		Dst:          f.dst,
 		TxTimeMicros: txMicros,
 		Seq:          vseq,
 		Rate:         uint8(n.cfg.Rate),
 	}
-	n.radio.Transmit(hdr, phy.RateByID(n.cfg.ControlRate))
+	n.radio.Transmit(&n.hdrBuf, phy.RateByID(n.cfg.ControlRate))
 }
 
 // continueVpkt transmits the next frame of the in-progress virtual packet
@@ -215,7 +230,9 @@ func (n *Node) continueVpkt() {
 	case c.next < len(c.seqs):
 		i := c.next
 		c.next++
-		d := &frame.Data{
+		// One embedded data buffer serves the whole chain: frame i's
+		// receivers all decode before the tx-done that stages frame i+1.
+		n.dataBuf = frame.Data{
 			Src:        n.addr,
 			Dst:        c.flow.dst,
 			PktSeq:     c.seqs[i],
@@ -224,10 +241,10 @@ func (n *Node) continueVpkt() {
 			PayloadLen: uint16(n.cfg.PayloadBytes),
 		}
 		n.stat.DataSent++
-		n.radio.Transmit(d, phy.RateByID(n.cfg.Rate))
+		n.radio.Transmit(&n.dataBuf, phy.RateByID(n.cfg.Rate))
 	case !c.trailerSent && !n.cfg.DisableTrailers:
 		c.trailerSent = true
-		trl := &frame.Control{
+		n.trlBuf = frame.Control{
 			Trailer:      true,
 			Src:          n.addr,
 			Dst:          c.flow.dst,
@@ -235,7 +252,7 @@ func (n *Node) continueVpkt() {
 			Seq:          c.vseq,
 			Rate:         uint8(n.cfg.Rate),
 		}
-		n.radio.Transmit(trl, phy.RateByID(n.cfg.ControlRate))
+		n.radio.Transmit(&n.trlBuf, phy.RateByID(n.cfg.ControlRate))
 	default:
 		f := c.flow
 		n.cur = nil
@@ -339,7 +356,7 @@ func (n *Node) retxTimedOut() {
 		for s := range f.unacked {
 			f.retx = append(f.retx, s)
 		}
-		sort.Slice(f.retx, func(i, j int) bool { return f.retx[i] < f.retx[j] })
+		slices.Sort(f.retx)
 	}
 	n.trySend()
 }
@@ -361,20 +378,26 @@ func (n *Node) broadcastTick() {
 			delete(n.interfStats, k)
 		}
 	}
-	list := &frame.InterfererList{Src: n.addr}
+	// Expire stale entries first; the common steady-state case of an empty
+	// list returns before allocating anything.
+	live := 0
 	for k, exp := range n.interferers {
 		if exp <= now {
 			delete(n.interferers, k)
 			continue
 		}
+		live++
+	}
+	if live == 0 {
+		return
+	}
+	list := &frame.InterfererList{Src: n.addr}
+	for k := range n.interferers {
 		list.Entries = append(list.Entries, frame.InterferenceEntry{
 			Source:     k.Source,
 			Interferer: k.Interferer,
 			Rate:       k.Rate,
 		})
-	}
-	if len(list.Entries) == 0 {
-		return
 	}
 	// Stable wire order regardless of map iteration.
 	sort.Slice(list.Entries, func(i, j int) bool {

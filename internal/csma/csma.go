@@ -29,6 +29,19 @@ type Config struct {
 	CWMin, CWMax int
 	// RetryLimit caps retransmissions of one packet.
 	RetryLimit int
+	// CSThresholdDBm, when non-zero, overrides this node's carrier-sense
+	// threshold away from the medium-wide default — the knob the
+	// cs@<dBm> arm family sweeps to trade exposed-terminal concurrency
+	// against hidden-terminal collisions.
+	CSThresholdDBm float64
+	// RTSCTS enables the RTS/CTS handshake with NAV-based virtual
+	// carrier sense for unicast data whose payload is at least
+	// RTSThreshold bytes; smaller frames (and broadcasts) bypass the
+	// handshake and follow plain DCF.
+	RTSCTS bool
+	// RTSThreshold is the RTS payload-size cutoff in bytes (0 = RTS for
+	// every unicast frame when RTSCTS is on).
+	RTSThreshold int
 }
 
 // DefaultConfig returns the 802.11a defaults used throughout the
@@ -88,6 +101,25 @@ type Node struct {
 	difsTimer    sim.Timer
 	backoffTimer sim.Timer
 	ackTimer     sim.Timer
+	ctsTimer     sim.Timer
+	navTimer     sim.Timer
+
+	// RTS/CTS virtual-carrier-sense state: the network-allocation-vector
+	// deadline learned from overheard RTS/CTS reservations, and whether
+	// we are between our own RTS and the answering CTS.
+	navUntil sim.Time
+	waitCts  bool
+	rtsBuf   frame.Dot11RTS
+
+	// Frame pools. The staged data frame lives in an embedded buffer —
+	// stop-and-wait keeps one packet in flight, and by the time the next
+	// is staged every receiver of the previous frame has finished with
+	// it (the medium completes all receptions before the sender's
+	// tx-done). ACK and CTS responses recycle through free lists the
+	// same way, so the steady-state frame path allocates nothing.
+	dataBuf frame.Dot11Data
+	ackFree []*frame.Dot11Ack
+	ctsFree []*frame.Dot11CTS
 
 	// Receiver state: last delivered seq per source. Stop-and-wait means
 	// a duplicate can only be a retransmission of the most recent packet,
@@ -106,6 +138,9 @@ type Stats struct {
 	AcksSent   uint64
 	AckTimeout uint64
 	Dropped    uint64 // packets abandoned after RetryLimit
+	RtsSent    uint64 // RTS handshakes initiated
+	CtsSent    uint64 // CTS responses put on air
+	CtsTimeout uint64 // RTS attempts that drew no CTS
 }
 
 // New creates a DCF node on medium node id.
@@ -122,6 +157,9 @@ func New(id int, cfg Config, m *medium.Medium, rng *sim.RNG) *Node {
 		gotAny:  make(map[int]bool),
 	}
 	n.radio.SetHandler(n)
+	if cfg.CSThresholdDBm != 0 {
+		n.radio.SetCSThresholdDBm(cfg.CSThresholdDBm)
+	}
 	return n
 }
 
@@ -145,6 +183,9 @@ const (
 	evBackoff
 	evAckTimeout
 	evBeginAccess
+	evCtsTimeout
+	evNavClear
+	evSendData
 )
 
 // HandleEvent implements sim.EventHandler: fixed timer callbacks arrive
@@ -161,9 +202,17 @@ func (n *Node) HandleEvent(arg any) {
 			n.ackTimedOut()
 		case evBeginAccess:
 			n.beginAccess()
+		case evCtsTimeout:
+			n.ctsTimedOut()
+		case evNavClear:
+			n.navCleared()
+		case evSendData:
+			n.sendDataAfterCts()
 		}
 	case *frame.Dot11Ack:
 		n.sendAck(v)
+	case *frame.Dot11CTS:
+		n.sendCts(v)
 	}
 }
 
@@ -245,12 +294,13 @@ func (n *Node) makeNext() bool {
 	// back to its arrival time. Stop-and-wait dedup only ever compares
 	// against the immediately preceding packet, so consecutive values
 	// are as collision-safe as the attempt-counter scheme they replace.
-	n.pending = &frame.Dot11Data{
+	n.dataBuf = frame.Dot11Data{
 		Src:        n.addr,
 		Dst:        da,
 		Seq:        n.txSeq,
 		PayloadLen: uint16(n.cfg.PayloadBytes),
 	}
+	n.pending = &n.dataBuf
 	n.txSeq++
 	n.retries = 0
 	return true
@@ -267,6 +317,10 @@ func (n *Node) beginAccess() {
 		return
 	}
 	n.wantsTx = true
+	if n.navBusy() {
+		n.armNavTimer()
+		return // resume when the NAV reservation clears
+	}
 	if n.cfg.CarrierSense && n.radio.CarrierBusy() {
 		return // resume on the idle edge
 	}
@@ -326,6 +380,10 @@ func (n *Node) transmitData() {
 		n.sched.PostAfter(phy.SlotTime, n, evBeginAccess)
 		return
 	}
+	if n.useRTS() {
+		n.transmitRTS()
+		return
+	}
 	n.stat.Sent++
 	n.radio.Transmit(n.pending, phy.RateByID(n.cfg.Rate))
 }
@@ -353,7 +411,13 @@ func (n *Node) OnTxDone(f frame.Frame) {
 			n.beginAccess()
 		}
 	case *frame.Dot11Ack:
-		// Receiver side: nothing to do after an ACK.
+		// Receiver side: every addressee has decoded the ACK by now
+		// (receptions complete before tx-done), so recycle its buffer.
+		n.ackFree = append(n.ackFree, ff)
+	case *frame.Dot11RTS:
+		n.rtsSent()
+	case *frame.Dot11CTS:
+		n.ctsFree = append(n.ctsFree, ff)
 	}
 }
 
@@ -403,7 +467,8 @@ func (n *Node) OnFrame(f frame.Frame, info phy.RxInfo) {
 			}
 		}
 		if n.cfg.LinkACKs && !ff.Dst.IsBroadcast() {
-			ack := &frame.Dot11Ack{Dst: ff.Src, Seq: ff.Seq}
+			ack := n.getAck()
+			ack.Dst, ack.Seq = ff.Src, ff.Seq
 			n.sched.PostAfter(phy.SIFS, n, ack)
 		}
 	case *frame.Dot11Ack:
@@ -422,6 +487,10 @@ func (n *Node) OnFrame(f frame.Frame, info phy.RxInfo) {
 			n.drawBackoff()
 			n.beginAccess()
 		}
+	case *frame.Dot11RTS:
+		n.onRTS(ff)
+	case *frame.Dot11CTS:
+		n.onCTS(ff)
 	}
 }
 
@@ -430,10 +499,21 @@ func (n *Node) OnFrame(f frame.Frame, info phy.RxInfo) {
 // times out and retries.
 func (n *Node) sendAck(ack *frame.Dot11Ack) {
 	if n.radio.Transmitting() {
+		n.ackFree = append(n.ackFree, ack)
 		return
 	}
 	n.stat.AcksSent++
 	n.radio.Transmit(ack, phy.RateByID(n.cfg.ControlRate))
+}
+
+// getAck pops a recycled ACK buffer (refilled at OnTxDone).
+func (n *Node) getAck() *frame.Dot11Ack {
+	if k := len(n.ackFree); k > 0 {
+		a := n.ackFree[k-1]
+		n.ackFree = n.ackFree[:k-1]
+		return a
+	}
+	return &frame.Dot11Ack{}
 }
 
 // OnCorrupt implements phy.Handler. DCF learns nothing from corrupted
@@ -450,6 +530,10 @@ func (n *Node) OnCarrier(busy bool) {
 		return
 	}
 	if n.wantsTx && n.pending != nil && !n.waitAck {
+		if n.navBusy() {
+			n.armNavTimer()
+			return
+		}
 		n.startDIFS()
 	}
 }

@@ -83,7 +83,7 @@ func TestCrossValidation(t *testing.T) {
 				if pred.Residual > 1e-6 {
 					t.Fatalf("residual %.2e above bound 1e-6", pred.Residual)
 				}
-				got := aggregate(runFlows(sc.TB, sc.Flows, arm, opt, opt.Seed+uint64(sci)*7919+uint64(arm)*104729))
+				got := aggregate(runFlows(sc.TB, sc.Flows, arm, opt, opt.Seed+uint64(sci)*7919+arm.seedSalt()*104729))
 				if got <= 0 {
 					t.Fatalf("simulator delivered %.3f Mb/s — scenario inert", got)
 				}

@@ -2,50 +2,81 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
-	"repro/internal/core"
-	"repro/internal/csma"
+	"repro/internal/mac"
 	"repro/internal/phy"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
 	"repro/internal/traffic"
+
+	// The protocol packages register their arms with internal/mac from
+	// init; experiments resolves them by name only.
+	_ "repro/internal/core"
+	_ "repro/internal/csma"
 )
 
-// Protocol enumerates the arms that appear across the evaluation.
-type Protocol int
+// Protocol names one arm from the internal/mac registry. Its value IS
+// the registry name, so any registered arm — including cs@<dBm> family
+// members — can enter any experiment.
+type Protocol string
 
 // The protocol arms of §5. The CSMA arms are 802.11 DCF with the
 // carrier-sense and link-ACK switches the paper toggles; CMAP and
-// CMAPWin1 are the conflict-map link layer with Nwindow 8 and 1.
+// CMAPWin1 are the conflict-map link layer with Nwindow 8 and 1;
+// RTSCTS is DCF with the RTS/CTS handshake and NAV virtual carrier
+// sense.
 const (
-	CSMAOn Protocol = iota // "CS, acks" — the status quo
-	CSMAOnNoAcks
-	CSMAOffAcks   // "CS off, acks"
-	CSMAOffNoAcks // "CS off, no acks"
-	CMAP
-	CMAPWin1 // CMAP with a send window of one virtual packet
+	CSMAOn        Protocol = "csma" // "CS, acks" — the status quo
+	CSMAOnNoAcks  Protocol = "csma-noack"
+	CSMAOffAcks   Protocol = "csma-nocs"       // "CS off, acks"
+	CSMAOffNoAcks Protocol = "csma-nocs-noack" // "CS off, no acks"
+	CMAP          Protocol = "cmap"
+	CMAPWin1      Protocol = "cmap1" // CMAP with a send window of one virtual packet
+	RTSCTS        Protocol = "rtscts"
 )
+
+// CSAt returns the carrier-sense-threshold family member at thr dBm
+// (e.g. CSAt(-82) == Protocol("cs@-82")).
+func CSAt(thr float64) Protocol {
+	return Protocol(fmt.Sprintf("cs@%g", thr))
+}
 
 // String returns the label used in the paper's figure legends.
 func (p Protocol) String() string {
-	switch p {
-	case CSMAOn:
-		return "CS, acks"
-	case CSMAOnNoAcks:
-		return "CS, no acks"
-	case CSMAOffAcks:
-		return "CS off, acks"
-	case CSMAOffNoAcks:
-		return "CS off, no acks"
-	case CMAP:
-		return "CMAP"
-	case CMAPWin1:
-		return "CMAP, win=1"
-	default:
-		return fmt.Sprintf("protocol(%d)", int(p))
+	if a, err := mac.Lookup(string(p)); err == nil {
+		return a.Label()
 	}
+	return string(p)
+}
+
+// seedSalt is the arm's pinned per-trial seed offset. The legacy arms
+// keep the integer values Protocol had when it was an enum, so every
+// golden trace recorded before the registry existed stays bit-identical.
+func (p Protocol) seedSalt() uint64 {
+	return mac.MustLookup(string(p)).SeedSalt()
+}
+
+// ParseArms resolves a comma-separated list of registry arm names
+// (e.g. "csma,cmap,rtscts,cs@-82") against the MAC registry.
+func ParseArms(s string) ([]Protocol, error) {
+	var out []Protocol
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, err := mac.Lookup(name); err != nil {
+			return nil, err
+		}
+		out = append(out, Protocol(name))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: no arms in %q", s)
+	}
+	return out, nil
 }
 
 // Options scales the experiments. The zero value is unusable; use
@@ -85,6 +116,18 @@ type Options struct {
 	// per-flow traffic.Sources with finite backlogs and per-packet
 	// latency measurement.
 	Traffic traffic.Spec
+	// Arms, when non-empty, overrides the arm set of every experiment
+	// that compares protocols (pair figures, the offered-load sweep, the
+	// analytic screen). Empty keeps each figure's paper-default arms.
+	Arms []Protocol
+}
+
+// armsOr returns opt.Arms if set, else the figure's default arm list.
+func (o Options) armsOr(def []Protocol) []Protocol {
+	if len(o.Arms) > 0 {
+		return o.Arms
+	}
+	return def
 }
 
 // pool returns the runner configuration these options describe.
@@ -178,67 +221,33 @@ func runFlows(tb *topo.Testbed, flows []topo.Link, p Protocol, opt Options, runS
 	meters := make([]*stats.Meter, len(flows))
 	results := make([]FlowResult, len(flows))
 
-	switch p {
-	case CMAP, CMAPWin1:
-		cfg := core.DefaultConfig()
-		cfg.Rate = opt.Rate
-		if p == CMAPWin1 {
-			cfg.Nwindow = 1
-		}
-		senders := make([]*core.Node, len(flows))
-		receivers := make([]*core.Node, len(flows))
-		nodes := map[int]*core.Node{}
-		mk := func(id int) *core.Node {
-			if n, ok := nodes[id]; ok {
-				return n
-			}
-			n := core.New(id, cfg, m, rng.Stream(uint64(1000+id)))
-			nodes[id] = n
+	arm := mac.MustLookup(string(p))
+	senders := make([]mac.Node, len(flows))
+	receivers := make([]mac.Node, len(flows))
+	nodes := map[int]mac.Node{}
+	mk := func(id int) mac.Node {
+		if n, ok := nodes[id]; ok {
 			return n
 		}
-		for i, f := range flows {
-			senders[i] = mk(f.Src)
-			receivers[i] = mk(f.Dst)
-			meters[i] = &stats.Meter{Start: opt.Warmup, End: opt.Duration}
-			receivers[i].Meter = meters[i]
-			senders[i].SetSaturated(f.Dst)
-		}
-		sched.Run(opt.Duration)
-		for i, f := range flows {
-			seen, hdr, hot := receivers[i].FlowCounters(f.Src)
-			_ = seen
-			results[i] = FlowResult{
-				Link:            f,
-				Mbps:            meters[i].Mbps(),
-				VpktsSent:       senders[i].Stats().VpktsSent,
-				VpktsHeader:     hdr,
-				VpktsHdrOrTrail: hot,
-			}
-		}
-	default:
-		cfg := csma.DefaultConfig()
-		cfg.Rate = opt.Rate
-		cfg.CarrierSense = p == CSMAOn || p == CSMAOnNoAcks
-		cfg.LinkACKs = p == CSMAOn || p == CSMAOffAcks
-		nodes := map[int]*csma.Node{}
-		mk := func(id int) *csma.Node {
-			if n, ok := nodes[id]; ok {
-				return n
-			}
-			n := csma.New(id, cfg, m, rng.Stream(uint64(1000+id)))
-			nodes[id] = n
-			return n
-		}
-		for i, f := range flows {
-			tx := mk(f.Src)
-			rx := mk(f.Dst)
-			meters[i] = &stats.Meter{Start: opt.Warmup, End: opt.Duration}
-			rx.Meter = meters[i]
-			tx.SetSaturated(f.Dst)
-		}
-		sched.Run(opt.Duration)
-		for i, f := range flows {
-			results[i] = FlowResult{Link: f, Mbps: meters[i].Mbps()}
+		n := arm.New(id, m, rng.Stream(uint64(1000+id)), mac.Options{Rate: opt.Rate})
+		nodes[id] = n
+		return n
+	}
+	for i, f := range flows {
+		senders[i] = mk(f.Src)
+		receivers[i] = mk(f.Dst)
+		meters[i] = &stats.Meter{Start: opt.Warmup, End: opt.Duration}
+		receivers[i].SetMeter(meters[i])
+		senders[i].SetSaturated(f.Dst)
+	}
+	sched.Run(opt.Duration)
+	for i, f := range flows {
+		results[i] = FlowResult{Link: f, Mbps: meters[i].Mbps()}
+		if sv, ok := senders[i].(mac.Visibility); ok {
+			_, hdr, hot := receivers[i].(mac.Visibility).FlowCounters(f.Src)
+			results[i].VpktsSent = sv.VpktsSent()
+			results[i].VpktsHeader = hdr
+			results[i].VpktsHdrOrTrail = hot
 		}
 	}
 	return results
@@ -282,7 +291,7 @@ func runPairExperiment(name string, tb *topo.Testbed, pairs []topo.LinkPair, arm
 	trials := runner.Map(opt.pool(), len(pairs)*len(arms), func(t int) []FlowResult {
 		i, arm := t/len(arms), arms[t%len(arms)]
 		flows := []topo.Link{pairs[i].A, pairs[i].B}
-		return runFlows(tb, flows, arm, opt, opt.Seed+uint64(i)*7919+uint64(arm)*104729)
+		return runFlows(tb, flows, arm, opt, opt.Seed+uint64(i)*7919+arm.seedSalt()*104729)
 	})
 	for i := range pairs {
 		for j, arm := range arms {
@@ -294,8 +303,28 @@ func runPairExperiment(name string, tb *topo.Testbed, pairs []topo.LinkPair, arm
 	return ex
 }
 
-// Median returns the median aggregate throughput of one arm.
-func (ex *PairExperiment) Median(p Protocol) float64 { return ex.Dists[p].Median() }
+// Median returns the median aggregate throughput of one arm, or zero
+// for an arm the experiment did not run (possible whenever Options.Arms
+// overrode the figure's defaults).
+func (ex *PairExperiment) Median(p Protocol) float64 {
+	d, ok := ex.Dists[p]
+	if !ok {
+		return 0
+	}
+	return d.Median()
+}
+
+// Ran reports whether every given arm was part of this experiment —
+// the guard callers need before quoting cross-arm gains when
+// Options.Arms may have replaced the defaults.
+func (ex *PairExperiment) Ran(arms ...Protocol) bool {
+	for _, a := range arms {
+		if _, ok := ex.Dists[a]; !ok {
+			return false
+		}
+	}
+	return true
+}
 
 // Gain returns the ratio of medians a/b.
 func (ex *PairExperiment) Gain(a, b Protocol) float64 {

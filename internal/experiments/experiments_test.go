@@ -46,7 +46,7 @@ func TestProtocolLabels(t *testing.T) {
 	}
 	for p, want := range labels {
 		if p.String() != want {
-			t.Errorf("%d label = %q, want %q", p, p, want)
+			t.Errorf("%s label = %q, want %q", string(p), p, want)
 		}
 	}
 }

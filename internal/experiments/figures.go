@@ -49,7 +49,7 @@ func ExposedTerminals(tb *topo.Testbed, opt Options) *PairExperiment {
 	rng := sim.NewRNG(opt.Seed ^ 0xf16)
 	pairs := tb.ExposedPairs(rng, opt.Pairs)
 	return runPairExperiment("Figure 12: exposed terminals", tb, pairs,
-		[]Protocol{CSMAOn, CSMAOffNoAcks, CMAP, CMAPWin1}, opt)
+		opt.armsOr([]Protocol{CSMAOn, CSMAOffNoAcks, CMAP, CMAPWin1}), opt)
 }
 
 // InRangeSenders reproduces Figure 13: 50 pairs with in-range senders and
@@ -60,7 +60,7 @@ func InRangeSenders(tb *topo.Testbed, opt Options) *PairExperiment {
 	rng := sim.NewRNG(opt.Seed ^ 0xf13)
 	pairs := tb.InRangePairs(rng, opt.Pairs)
 	return runPairExperiment("Figure 13: senders in range", tb, pairs,
-		[]Protocol{CSMAOn, CSMAOffAcks, CSMAOffNoAcks, CMAP}, opt)
+		opt.armsOr([]Protocol{CSMAOn, CSMAOffAcks, CSMAOffNoAcks, CMAP}), opt)
 }
 
 // HiddenTerminals reproduces Figure 15: receivers reachable by both
@@ -70,7 +70,7 @@ func HiddenTerminals(tb *topo.Testbed, opt Options) *PairExperiment {
 	rng := sim.NewRNG(opt.Seed ^ 0xf15)
 	pairs := tb.HiddenPairs(rng, opt.Pairs)
 	return runPairExperiment("Figure 15: hidden terminals", tb, pairs,
-		[]Protocol{CSMAOn, CSMAOffAcks, CMAP}, opt)
+		opt.armsOr([]Protocol{CSMAOn, CSMAOffAcks, CMAP}), opt)
 }
 
 // InterfererPoint is one Figure 14 scatter point.
@@ -197,6 +197,7 @@ func (h *HeaderTrailerCDFs) Format() string {
 // and arm, plus the pooled per-sender distribution.
 type APResult struct {
 	Ns        []int
+	Arms      []Protocol
 	Mean      map[Protocol]map[int]float64 // arm → N → mean aggregate Mb/s
 	Std       map[Protocol]map[int]float64
 	PerSender map[Protocol]*stats.Dist
@@ -206,9 +207,10 @@ type APResult struct {
 // cells with one saturated flow each (random client, random direction),
 // ten client draws per N, under CS-on, CS-off, and CMAP.
 func AccessPoint(tb *topo.Testbed, opt Options) *APResult {
-	arms := []Protocol{CSMAOn, CSMAOffAcks, CMAP}
+	arms := opt.armsOr([]Protocol{CSMAOn, CSMAOffAcks, CMAP})
 	res := &APResult{
 		Ns:        []int{3, 4, 5, 6},
+		Arms:      arms,
 		Mean:      map[Protocol]map[int]float64{},
 		Std:       map[Protocol]map[int]float64{},
 		PerSender: map[Protocol]*stats.Dist{},
@@ -251,7 +253,7 @@ func AccessPoint(tb *topo.Testbed, opt Options) *APResult {
 	}
 	outcomes := runner.Map(opt.pool(), len(trials), func(i int) []FlowResult {
 		t := trials[i]
-		return runFlows(tb, t.flows, t.arm, opt, opt.Seed+uint64(t.n*1000+t.run)*31+uint64(t.arm))
+		return runFlows(tb, t.flows, t.arm, opt, opt.Seed+uint64(t.n*1000+t.run)*31+t.arm.seedSalt())
 	})
 	aggs := map[int]map[Protocol]*stats.Dist{}
 	for i, t := range trials {
@@ -285,7 +287,7 @@ func (r *APResult) Format() string {
 		fmt.Fprintf(&b, "%10d", n)
 	}
 	b.WriteString("\n")
-	for _, arm := range []Protocol{CSMAOn, CSMAOffAcks, CMAP} {
+	for _, arm := range r.Arms {
 		fmt.Fprintf(&b, "%-16s", arm)
 		for _, n := range r.Ns {
 			fmt.Fprintf(&b, "%7.2f±%-4.1f", r.Mean[arm][n], r.Std[arm][n])
@@ -295,7 +297,7 @@ func (r *APResult) Format() string {
 	b.WriteString("Figure 18: per-sender throughput (Mb/s)\n")
 	names := []string{}
 	dists := []*stats.Dist{}
-	for _, arm := range []Protocol{CSMAOn, CSMAOffAcks, CMAP} {
+	for _, arm := range r.Arms {
 		names = append(names, arm.String())
 		dists = append(dists, r.PerSender[arm])
 	}
@@ -410,7 +412,7 @@ func VariableBitRates(tb *topo.Testbed, opt Options) []RateSeries {
 		o := opt
 		o.Rate = rate
 		name := fmt.Sprintf("Figure 20: exposed terminals @ %g Mb/s", phy.RateByID(rate).Mbps)
-		ex := runPairExperiment(name, tb, pairs, []Protocol{CSMAOn, CMAP}, o)
+		ex := runPairExperiment(name, tb, pairs, opt.armsOr([]Protocol{CSMAOn, CMAP}), o)
 		out = append(out, RateSeries{Rate: rate, Ex: ex})
 	}
 	return out

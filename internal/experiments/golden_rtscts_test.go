@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// The RTS/CTS arm gets its own golden trace: the handshake exercises
+// machinery (NAV bookkeeping, CTS timeouts, control-frame scheduling)
+// that the §5 arms never touch, so a bit-level pin here catches drift
+// in code paths the main golden files cannot see. One seed suffices —
+// the arm shares everything below the MAC with the pinned baselines.
+//
+//	go test ./internal/experiments -run TestGoldenRTSCTS -update
+var goldenRTSCTSSeed = uint64(1)
+
+func goldenRTSCTSPath() string {
+	return filepath.Join("testdata", fmt.Sprintf("golden_rtscts_seed%d.json", goldenRTSCTSSeed))
+}
+
+func TestGoldenRTSCTS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden tier runs via make golden, not the -short tier")
+	}
+	seed := goldenRTSCTSSeed
+	got := captureGolden(seed, []Protocol{RTSCTS})
+	path := goldenRTSCTSPath()
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d runs)", path, len(got.Runs))
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no RTS/CTS golden trace (%v); run with -update to create it", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file %s: %v", path, err)
+	}
+	if len(got.Runs) != len(want.Runs) {
+		t.Fatalf("captured %d runs, golden file has %d — topology availability drifted; "+
+			"inspect and regenerate with -update", len(got.Runs), len(want.Runs))
+	}
+	for i := range want.Runs {
+		w, g := want.Runs[i], got.Runs[i]
+		if !reflect.DeepEqual(w, g) {
+			t.Errorf("run %d (%s/%s) drifted from the golden trace:\n  want %+v\n  got  %+v\n"+
+				"simulation behaviour changed; if intentional, regenerate with -update",
+				i, w.Topology, w.Arm, w, g)
+		}
+	}
+}

@@ -94,7 +94,7 @@ func goldenTopologies(tb *topo.Testbed, seed uint64) []struct {
 	return out
 }
 
-func captureGolden(seed uint64) goldenFile {
+func captureGolden(seed uint64, arms []Protocol) goldenFile {
 	opt := goldenOptions(seed)
 	tb := topo.NewTestbed(opt.Nodes, seed)
 	gf := goldenFile{
@@ -104,8 +104,8 @@ func captureGolden(seed uint64) goldenFile {
 		WarmupNs:   int64(opt.Warmup),
 	}
 	for ti, tp := range goldenTopologies(tb, seed) {
-		for _, arm := range goldenArms {
-			runSeed := seed + uint64(ti)*7919 + uint64(arm)*104729
+		for _, arm := range arms {
+			runSeed := seed + uint64(ti)*7919 + arm.seedSalt()*104729
 			rs := runFlows(tb, tp.flows, arm, opt, runSeed)
 			run := goldenRun{Topology: tp.name, Arm: arm.String()}
 			for _, fr := range rs {
@@ -140,7 +140,7 @@ func TestGoldenTraces(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			t.Parallel()
-			got := captureGolden(seed)
+			got := captureGolden(seed, goldenArms)
 			path := goldenPath(seed)
 			if *updateGolden {
 				data, err := json.MarshalIndent(got, "", "  ")

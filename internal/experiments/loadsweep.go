@@ -4,8 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/csma"
+	"repro/internal/mac"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -44,90 +43,47 @@ func runTrafficFlows(tb *topo.Testbed, flows []topo.Link, p Protocol, opt Option
 		}
 	}
 
-	switch p {
-	case CMAP, CMAPWin1:
-		cfg := core.DefaultConfig()
-		cfg.Rate = opt.Rate
-		if p == CMAPWin1 {
-			cfg.Nwindow = 1
-		}
-		senders := make([]*core.Node, len(flows))
-		nodes := map[int]*core.Node{}
-		mk := func(id int) *core.Node {
-			if n, ok := nodes[id]; ok {
-				return n
-			}
-			n := core.New(id, cfg, m, rng.Stream(uint64(1000+id)))
-			nodes[id] = n
+	arm := mac.MustLookup(string(p))
+	senders := make([]mac.Node, len(flows))
+	receivers := make([]mac.Node, len(flows))
+	nodes := map[int]mac.Node{}
+	mk := func(id int) mac.Node {
+		if n, ok := nodes[id]; ok {
 			return n
 		}
-		for i, f := range flows {
-			senders[i] = mk(f.Src)
-			rx := mk(f.Dst)
-			meters[i] = &stats.Meter{Start: opt.Warmup, End: opt.Duration}
-			rx.Meter = meters[i]
-			lats[i] = &stats.Latency{W: window}
-			rx.OnDeliver = deliver(i, f.Src)
-			src := traffic.NewSource(sched, rng.Stream(uint64(5000+i)), opt.Traffic, senders[i], f.Dst)
-			src.EnableLatency(cfg.Nwindow * cfg.Nvpkt)
-			sources[i] = src
-			src.Start()
+		n := arm.New(id, m, rng.Stream(uint64(1000+id)), mac.Options{Rate: opt.Rate})
+		nodes[id] = n
+		return n
+	}
+	for i, f := range flows {
+		senders[i] = mk(f.Src)
+		receivers[i] = mk(f.Dst)
+		meters[i] = &stats.Meter{Start: opt.Warmup, End: opt.Duration}
+		receivers[i].SetMeter(meters[i])
+		lats[i] = &stats.Latency{W: window}
+		receivers[i].SetOnDeliver(deliver(i, f.Src))
+		src := traffic.NewSource(sched, rng.Stream(uint64(5000+i)), opt.Traffic, senders[i], f.Dst)
+		src.EnableLatency(senders[i].LatencyWindow())
+		sources[i] = src
+		src.Start()
+	}
+	sched.Run(opt.Duration)
+	for i, f := range flows {
+		st := sources[i].Stats()
+		results[i] = FlowResult{
+			Link:          f,
+			Mbps:          meters[i].Mbps(),
+			OfferedPkts:   st.Offered,
+			AcceptedPkts:  st.Accepted,
+			DroppedPkts:   st.Dropped,
+			DeliveredPkts: meters[i].Packets(),
+			Lat:           lats[i],
 		}
-		sched.Run(opt.Duration)
-		for i, f := range flows {
-			_, hdr, hot := mk(f.Dst).FlowCounters(f.Src)
-			st := sources[i].Stats()
-			results[i] = FlowResult{
-				Link:            f,
-				Mbps:            meters[i].Mbps(),
-				VpktsSent:       senders[i].Stats().VpktsSent,
-				VpktsHeader:     hdr,
-				VpktsHdrOrTrail: hot,
-				OfferedPkts:     st.Offered,
-				AcceptedPkts:    st.Accepted,
-				DroppedPkts:     st.Dropped,
-				DeliveredPkts:   meters[i].Packets(),
-				Lat:             lats[i],
-			}
-		}
-	default:
-		cfg := csma.DefaultConfig()
-		cfg.Rate = opt.Rate
-		cfg.CarrierSense = p == CSMAOn || p == CSMAOnNoAcks
-		cfg.LinkACKs = p == CSMAOn || p == CSMAOffAcks
-		nodes := map[int]*csma.Node{}
-		mk := func(id int) *csma.Node {
-			if n, ok := nodes[id]; ok {
-				return n
-			}
-			n := csma.New(id, cfg, m, rng.Stream(uint64(1000+id)))
-			nodes[id] = n
-			return n
-		}
-		for i, f := range flows {
-			tx := mk(f.Src)
-			rx := mk(f.Dst)
-			meters[i] = &stats.Meter{Start: opt.Warmup, End: opt.Duration}
-			rx.Meter = meters[i]
-			lats[i] = &stats.Latency{W: window}
-			rx.OnDeliver = deliver(i, f.Src)
-			src := traffic.NewSource(sched, rng.Stream(uint64(5000+i)), opt.Traffic, tx, f.Dst)
-			src.EnableLatency(16) // stop-and-wait: one frame in flight
-			sources[i] = src
-			src.Start()
-		}
-		sched.Run(opt.Duration)
-		for i, f := range flows {
-			st := sources[i].Stats()
-			results[i] = FlowResult{
-				Link:          f,
-				Mbps:          meters[i].Mbps(),
-				OfferedPkts:   st.Offered,
-				AcceptedPkts:  st.Accepted,
-				DroppedPkts:   st.Dropped,
-				DeliveredPkts: meters[i].Packets(),
-				Lat:           lats[i],
-			}
+		if sv, ok := senders[i].(mac.Visibility); ok {
+			_, hdr, hot := receivers[i].(mac.Visibility).FlowCounters(f.Src)
+			results[i].VpktsSent = sv.VpktsSent()
+			results[i].VpktsHeader = hdr
+			results[i].VpktsHdrOrTrail = hot
 		}
 	}
 	return results
@@ -197,7 +153,7 @@ func OfferedLoad(tb *topo.Testbed, topology string, loads []float64, opt Options
 		topology = "exposed"
 		pairs = tb.ExposedPairs(rng, opt.Pairs)
 	}
-	arms := []Protocol{CSMAOn, CMAP}
+	arms := opt.armsOr([]Protocol{CSMAOn, CMAP})
 	sweep := &LoadSweep{
 		Name:     fmt.Sprintf("Load sweep: %s pairs, %v arrivals", topology, kind),
 		Topology: topology,
@@ -224,7 +180,7 @@ func OfferedLoad(tb *topo.Testbed, topology string, loads []float64, opt Options
 		// their peak rate scaled so the mean lands on the sweep value.
 		o.Traffic = o.Traffic.WithOfferedMbps(loads[k.li], sweepPayloadBytes)
 		flows := []topo.Link{pairs[k.pi].A, pairs[k.pi].B}
-		seed := opt.Seed + uint64(k.li)*15485863 + uint64(k.pi)*7919 + uint64(k.arm)*104729
+		seed := opt.Seed + uint64(k.li)*15485863 + uint64(k.pi)*7919 + k.arm.seedSalt()*104729
 		return runFlows(tb, flows, k.arm, o, seed)
 	})
 	for _, load := range loads {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -14,9 +15,24 @@ import (
 	"repro/internal/traffic"
 )
 
+// csThreshold extracts the carrier-sense threshold from a cs@<dBm>
+// family arm name.
+func csThreshold(p Protocol) (float64, bool) {
+	s := string(p)
+	if !strings.HasPrefix(s, "cs@") {
+		return 0, false
+	}
+	thr, err := strconv.ParseFloat(strings.TrimPrefix(s, "cs@"), 64)
+	if err != nil {
+		return 0, false
+	}
+	return thr, true
+}
+
 // analyticArm maps a protocol arm onto the oracle's model, when one
-// exists. The no-carrier-sense and no-ACK ablations have no analytic
-// counterpart.
+// exists. The cs@<dBm> family is CSMA with a shifted sensing graph
+// (the threshold enters through ExtractConfig); the no-carrier-sense,
+// no-ACK and RTS/CTS ablations have no analytic counterpart.
 func analyticArm(p Protocol) (analytic.Arm, bool) {
 	switch p {
 	case CSMAOn:
@@ -25,9 +41,11 @@ func analyticArm(p Protocol) (analytic.Arm, bool) {
 		// Saturated senders refill the window continuously, so the
 		// window size drops out of the renewal cycle.
 		return analytic.ArmCMAP, true
-	default:
-		return 0, false
 	}
+	if _, ok := csThreshold(p); ok {
+		return analytic.ArmCSMA, true
+	}
+	return 0, false
 }
 
 // PredictFlows is the oracle counterpart of runFlows: it extracts the
@@ -40,7 +58,11 @@ func PredictFlows(tb *topo.Testbed, flows []topo.Link, p Protocol, opt Options) 
 		return nil, fmt.Errorf("experiments: no analytic model for arm %q", p)
 	}
 	m := tb.Build(sim.NewScheduler(), sim.NewRNG(opt.Seed).Stream(1))
-	g, err := analytic.Extract(m, flows, analytic.ExtractConfig{Rate: opt.Rate})
+	ec := analytic.ExtractConfig{Rate: opt.Rate}
+	if thr, ok := csThreshold(p); ok {
+		ec.CSThresholdDBm = thr
+	}
+	g, err := analytic.Extract(m, flows, ec)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +136,12 @@ type ScreenPoint struct {
 	// LoadMbps is the offered load per flow; Flows the flow count.
 	LoadMbps float64
 	Flows    int
-	// CSMACap and CMAPCap are the solved saturated aggregate capacities.
+	// Caps and Preds hold, per screened arm, the solved saturated
+	// aggregate capacity and the predicted delivered aggregate at this
+	// load (min(offered, capacity)).
+	Caps, Preds map[Protocol]float64
+	// CSMACap and CMAPCap are the solved saturated aggregate capacities
+	// of the two default arms (zero when an arm is not screened).
 	CSMACap, CMAPCap float64
 	// PredCSMA and PredCMAP are the predicted delivered aggregates at
 	// this load: min(offered, capacity).
@@ -172,10 +199,14 @@ func (r *ScreenResult) Format() string {
 // materially, are tagged for full simulation.
 func AnalyticScreen(scens []ScreenScenario, loads []float64, opt Options) (*ScreenResult, error) {
 	start := time.Now()
+	arms, err := screenArms(opt)
+	if err != nil {
+		return nil, err
+	}
 	out := &ScreenResult{}
 	for _, sc := range scens {
 		caps := map[Protocol]float64{}
-		for _, arm := range []Protocol{CSMAOn, CMAP} {
+		for _, arm := range arms {
 			res, err := PredictFlows(sc.TB, sc.Flows, arm, opt)
 			if err != nil {
 				return nil, err
@@ -186,9 +217,11 @@ func AnalyticScreen(scens []ScreenScenario, loads []float64, opt Options) (*Scre
 			}
 			caps[arm] = res.AggregateMbps()
 		}
-		minCap := caps[CSMAOn]
-		if caps[CMAP] < minCap {
-			minCap = caps[CMAP]
+		minCap := 0.0
+		for i, arm := range arms {
+			if i == 0 || caps[arm] < minCap {
+				minCap = caps[arm]
+			}
 		}
 		for _, load := range loads {
 			offered := load * float64(len(sc.Flows))
@@ -196,11 +229,15 @@ func AnalyticScreen(scens []ScreenScenario, loads []float64, opt Options) (*Scre
 				Scenario: sc.Name,
 				LoadMbps: load,
 				Flows:    len(sc.Flows),
-				CSMACap:  caps[CSMAOn],
-				CMAPCap:  caps[CMAP],
-				PredCSMA: min(offered, caps[CSMAOn]),
-				PredCMAP: min(offered, caps[CMAP]),
+				Caps:     map[Protocol]float64{},
+				Preds:    map[Protocol]float64{},
 			}
+			for _, arm := range arms {
+				p.Caps[arm] = caps[arm]
+				p.Preds[arm] = min(offered, caps[arm])
+			}
+			p.CSMACap, p.PredCSMA = p.Caps[CSMAOn], p.Preds[CSMAOn]
+			p.CMAPCap, p.PredCMAP = p.Caps[CMAP], p.Preds[CMAP]
 			if minCap > 0 {
 				p.Utilization = offered / minCap
 			}
@@ -208,9 +245,15 @@ func AnalyticScreen(scens []ScreenScenario, loads []float64, opt Options) (*Scre
 			if p.Utilization >= 0.7 && p.Utilization <= 1.3 {
 				reasons = append(reasons, "knee")
 			}
-			lo, hi := p.PredCSMA, p.PredCMAP
-			if lo > hi {
-				lo, hi = hi, lo
+			lo, hi := 0.0, 0.0
+			for i, arm := range arms {
+				pr := p.Preds[arm]
+				if i == 0 || pr < lo {
+					lo = pr
+				}
+				if i == 0 || pr > hi {
+					hi = pr
+				}
 			}
 			if lo > 0 && hi/lo >= 1.25 {
 				reasons = append(reasons, "arms-differ")
@@ -226,6 +269,22 @@ func AnalyticScreen(scens []ScreenScenario, loads []float64, opt Options) (*Scre
 	return out, nil
 }
 
+// screenArms resolves the arm set a screen covers: Options.Arms when
+// set (restricted to arms the oracle models, erroring when none are),
+// else the default CSMA-vs-CMAP comparison.
+func screenArms(opt Options) ([]Protocol, error) {
+	var arms []Protocol
+	for _, a := range opt.armsOr([]Protocol{CSMAOn, CMAP}) {
+		if _, ok := analyticArm(a); ok {
+			arms = append(arms, a)
+		}
+	}
+	if len(arms) == 0 {
+		return nil, fmt.Errorf("experiments: none of the requested arms %v has an analytic model", opt.Arms)
+	}
+	return arms, nil
+}
+
 // SimulateScreenGrid runs the full simulator over the same (scenario ×
 // load) grid an analytic screen covers: each point drives every flow with
 // Poisson arrivals at the point's offered load under both modelled arms.
@@ -233,7 +292,10 @@ func AnalyticScreen(scens []ScreenScenario, loads []float64, opt Options) (*Scre
 // with ground truth; trials fan out across the worker pool.
 func SimulateScreenGrid(scens []ScreenScenario, loads []float64, opt Options) (map[string]map[float64]map[Protocol]float64, time.Duration, error) {
 	start := time.Now()
-	arms := []Protocol{CSMAOn, CMAP}
+	arms, err := screenArms(opt)
+	if err != nil {
+		return nil, 0, err
+	}
 	type trial struct {
 		sc   int
 		load float64
@@ -252,7 +314,7 @@ func SimulateScreenGrid(scens []ScreenScenario, loads []float64, opt Options) (m
 		o := opt
 		o.Traffic = traffic.Spec{Kind: traffic.Poisson}.WithOfferedMbps(tr.load, 1400)
 		return runFlows(scens[tr.sc].TB, scens[tr.sc].Flows, tr.arm, o,
-			opt.Seed+uint64(tr.sc)*7919+uint64(tr.load*1000)*13+uint64(tr.arm)*104729)
+			opt.Seed+uint64(tr.sc)*7919+uint64(tr.load*1000)*13+tr.arm.seedSalt()*104729)
 	})
 	out := map[string]map[float64]map[Protocol]float64{}
 	for i, tr := range trials {

@@ -20,6 +20,8 @@ const (
 	KindInterfererList      // periodic interferer-list broadcast (§3.1)
 	KindDot11Data           // 802.11 baseline data frame
 	KindDot11Ack            // 802.11 baseline ACK
+	KindDot11RTS            // 802.11 request-to-send (virtual carrier sense)
+	KindDot11CTS            // 802.11 clear-to-send
 )
 
 // String returns the frame kind mnemonic.
@@ -39,6 +41,10 @@ func (k Kind) String() string {
 		return "dot11-data"
 	case KindDot11Ack:
 		return "dot11-ack"
+	case KindDot11RTS:
+		return "dot11-rts"
+	case KindDot11CTS:
+		return "dot11-cts"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -125,6 +131,10 @@ func Unmarshal(b []byte) (Frame, error) {
 		return unmarshalDot11Data(payload)
 	case KindDot11Ack:
 		return unmarshalDot11Ack(payload)
+	case KindDot11RTS:
+		return unmarshalDot11RTS(payload)
+	case KindDot11CTS:
+		return unmarshalDot11CTS(payload)
 	default:
 		return nil, ErrUnknownKind
 	}
@@ -478,4 +488,69 @@ func unmarshalDot11Ack(b []byte) (*Dot11Ack, error) {
 	copy(a.Dst[:], b[1:7])
 	a.Seq = binary.BigEndian.Uint16(b[7:9])
 	return a, nil
+}
+
+// Dot11RTS is the 802.11 request-to-send (20 bytes on air: FC 2 +
+// duration 2 + RA 6 + TA 6 + FCS 4). DurationUS is the NAV reservation
+// in microseconds: everything from the end of this frame through the
+// end of the protected CTS/data/ACK exchange.
+type Dot11RTS struct {
+	Src, Dst   Addr
+	DurationUS uint16
+}
+
+const dot11RTSBodyLen = 1 + 2 + 6 + 6 // fc pad + duration + ra + ta
+
+// Kind implements Frame.
+func (r *Dot11RTS) Kind() Kind { return KindDot11RTS }
+
+// WireSize implements Frame: 1 + 15 + 4 = 20 bytes, the standard RTS length.
+func (r *Dot11RTS) WireSize() int { return 1 + dot11RTSBodyLen + 4 }
+
+func (r *Dot11RTS) appendBody(dst []byte) []byte {
+	dst = append(dst, 0)
+	dst = binary.BigEndian.AppendUint16(dst, r.DurationUS)
+	dst = append(dst, r.Dst[:]...)
+	return append(dst, r.Src[:]...)
+}
+
+func unmarshalDot11RTS(b []byte) (*Dot11RTS, error) {
+	if len(b) != dot11RTSBodyLen {
+		return nil, ErrShortFrame
+	}
+	r := &Dot11RTS{DurationUS: binary.BigEndian.Uint16(b[1:3])}
+	copy(r.Dst[:], b[3:9])
+	copy(r.Src[:], b[9:15])
+	return r, nil
+}
+
+// Dot11CTS is the 802.11 clear-to-send (14 bytes on air, like the ACK:
+// FC 2 + duration 2 + RA 6 + FCS 4). DurationUS carries the remaining
+// NAV reservation copied down from the answered RTS.
+type Dot11CTS struct {
+	Dst        Addr // receiver address (the RTS sender)
+	DurationUS uint16
+}
+
+const dot11CTSBodyLen = 1 + 2 + 6 // fc pad + duration + ra
+
+// Kind implements Frame.
+func (c *Dot11CTS) Kind() Kind { return KindDot11CTS }
+
+// WireSize implements Frame: 1 + 9 + 4 = 14 bytes, the standard CTS length.
+func (c *Dot11CTS) WireSize() int { return 1 + dot11CTSBodyLen + 4 }
+
+func (c *Dot11CTS) appendBody(dst []byte) []byte {
+	dst = append(dst, 0)
+	dst = binary.BigEndian.AppendUint16(dst, c.DurationUS)
+	return append(dst, c.Dst[:]...)
+}
+
+func unmarshalDot11CTS(b []byte) (*Dot11CTS, error) {
+	if len(b) != dot11CTSBodyLen {
+		return nil, ErrShortFrame
+	}
+	c := &Dot11CTS{DurationUS: binary.BigEndian.Uint16(b[1:3])}
+	copy(c.Dst[:], b[3:9])
+	return c, nil
 }

@@ -1,0 +1,208 @@
+// Package conformance is the shared MAC test harness every registered
+// arm must pass. It builds small hand-crafted topologies (a clean link,
+// an exposed pair, a hidden pair, and a carrier-sense-protective pair)
+// directly from loss matrices, constructs stations through the
+// internal/mac registry by name only, and exposes fixtures the
+// conformance suite drives each arm through: steady-state allocation
+// gates, determinism and worker-equivalence checks, backlog
+// conservation under Poisson arrivals, and topology sanity bounds
+// (RTS/CTS rescuing hidden terminals, carrier-sense thresholds trading
+// exposed concurrency against hidden-style collisions).
+package conformance
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/mac"
+	"repro/internal/medium"
+	"repro/internal/phy"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/stats"
+
+	// The protocol packages register their arms from init.
+	_ "repro/internal/core"
+	_ "repro/internal/csma"
+)
+
+// Pair is a fixed-topology fixture: up to two unicast flows over a loss
+// matrix. With TxPower 10 dBm and zero fading, received signal strength
+// on a path is 10 − LossDB. The matrices place links at −55 dBm (clean
+// decode), cross-interference either at −95 dBm (below the noise floor,
+// harmless) or −45 dBm (10 dB over the link signal, so overlaps
+// corrupt), and sender↔sender coupling at −91 dBm: 3 dB under the
+// −92 dBm preamble sensitivity, so the coupled sender can never lock
+// onto (and be captured by) the other's frames — whether it defers is
+// decided purely by the energy threshold, i.e. by which cs@<dBm> arm
+// is running. A cs@-95 station senses −91 dBm and serialises; a
+// cs@-85 station is blind to it and transmits concurrently.
+type Pair struct {
+	Name   string
+	LossDB [][]float64
+	Flows  [][2]int // {src, dst} per flow
+}
+
+// CleanLink is a single isolated flow 0→1: the fixture for allocation
+// gates, determinism and conservation checks, where nothing is lost on
+// air.
+func CleanLink() Pair {
+	return Pair{
+		Name: "clean",
+		LossDB: [][]float64{
+			{0, 65},
+			{65, 0},
+		},
+		Flows: [][2]int{{0, 1}},
+	}
+}
+
+// ExposedPair is the paper's exposed-terminal geometry: senders 0 and 2
+// register −91 dBm at each other, but each signal is harmless (−95 dBm)
+// at the other receiver. A sensitive carrier-sense threshold (cs@-95)
+// serialises the two flows needlessly; concurrency is free.
+func ExposedPair() Pair {
+	return Pair{
+		Name: "exposed",
+		LossDB: [][]float64{
+			{0, 65, 101, 105},
+			{65, 0, 105, 105},
+			{101, 105, 0, 65},
+			{105, 105, 65, 0},
+		},
+		Flows: [][2]int{{0, 1}, {2, 3}},
+	}
+}
+
+// HiddenPair is the hidden-terminal geometry: senders 0 and 2 cannot
+// hear each other (−105 dBm), yet each lands at −45 dBm on the other's
+// receiver, so concurrent transmissions collide. Carrier sense cannot
+// help; RTS/CTS can, because each receiver's CTS reaches the other
+// sender over the same strong cross path.
+func HiddenPair() Pair {
+	return Pair{
+		Name: "hidden",
+		LossDB: [][]float64{
+			{0, 65, 115, 55},
+			{65, 0, 55, 105},
+			{115, 55, 0, 65},
+			{55, 105, 65, 0},
+		},
+		Flows: [][2]int{{0, 1}, {2, 3}},
+	}
+}
+
+// ProtectedPair is the geometry where carrier sense is load-bearing,
+// asymmetrically: sender 2's signal lands at −45 dBm on receiver 1, so
+// concurrent transmissions destroy flow 0→1, while flow 2→3 never sees
+// interference (and, via the one asymmetric path, sender 2 never hears
+// receiver 1's ACKs either — energy sensing of sender 0's −91 dBm
+// signal is its only protection). A sensitive threshold (cs@-95)
+// serialises the senders and the victim flow gets its fair share; a
+// blind one (cs@-85) lets sender 2 transmit straight through flow
+// 0→1's receptions and starve it.
+func ProtectedPair() Pair {
+	return Pair{
+		Name: "protected",
+		LossDB: [][]float64{
+			{0, 65, 101, 105},
+			{65, 0, 105, 105},
+			{101, 55, 0, 65},
+			{105, 105, 65, 0},
+		},
+		Flows: [][2]int{{0, 1}, {2, 3}},
+	}
+}
+
+// Fixture is one built instance of a Pair under one arm: a scheduler,
+// a medium, a station per node and a goodput meter per flow.
+type Fixture struct {
+	Pair   Pair
+	Sched  *sim.Scheduler
+	M      *medium.Medium
+	Nodes  []mac.Node     // indexed by medium node id
+	Meters []*stats.Meter // indexed by flow
+	rng    *sim.RNG
+}
+
+// NewFixture builds the pair's medium and one station per node through
+// the registry. Seed derivation mirrors the experiment harness: the
+// medium draws from stream 1 and node id from stream 1000+id, so a
+// fixture run is bit-comparable with an experiments run of the same
+// topology. Meters measure [warmup, dur].
+func NewFixture(armName string, p Pair, seed uint64, warmup, dur sim.Time) *Fixture {
+	arm := mac.MustLookup(armName)
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(seed)
+	positions := make([]geo.Point, len(p.LossDB))
+	m := medium.New(sched, phy.DefaultParams(), &radio.Matrix{LossDB: p.LossDB}, positions, rng.Stream(1))
+	f := &Fixture{Pair: p, Sched: sched, M: m, rng: rng}
+	f.Nodes = make([]mac.Node, len(p.LossDB))
+	for id := range p.LossDB {
+		f.Nodes[id] = arm.New(id, m, rng.Stream(uint64(1000+id)), mac.Options{Rate: phy.Rate6Mbps})
+	}
+	for _, fl := range p.Flows {
+		mt := &stats.Meter{Start: warmup, End: dur}
+		f.Nodes[fl[1]].SetMeter(mt)
+		f.Meters = append(f.Meters, mt)
+	}
+	return f
+}
+
+// Saturate makes every flow's sender fully backlogged.
+func (f *Fixture) Saturate() {
+	for _, fl := range f.Pair.Flows {
+		f.Nodes[fl[0]].SetSaturated(fl[1])
+	}
+}
+
+// Run advances the fixture's virtual clock to the absolute time until.
+func (f *Fixture) Run(until sim.Time) { f.Sched.Run(until) }
+
+// Goodputs returns each flow's measured goodput in Mb/s.
+func (f *Fixture) Goodputs() []float64 {
+	out := make([]float64, len(f.Meters))
+	for i, m := range f.Meters {
+		out[i] = m.Mbps()
+	}
+	return out
+}
+
+// RunSaturated is the one-call happy path: build, saturate, run, and
+// return per-flow goodputs.
+func RunSaturated(armName string, p Pair, seed uint64, warmup, dur sim.Time) []float64 {
+	f := NewFixture(armName, p, seed, warmup, dur)
+	f.Saturate()
+	f.Run(dur)
+	return f.Goodputs()
+}
+
+// SumMbps totals a goodput slice.
+func SumMbps(g []float64) float64 {
+	s := 0.0
+	for _, v := range g {
+		s += v
+	}
+	return s
+}
+
+// PoissonArrivals pre-draws packetsPerSec exponential inter-arrival
+// times on [0, horizon) from its own RNG stream — decoupled from the
+// stations' randomness so the arrival pattern is identical across arms.
+func PoissonArrivals(seed uint64, packetsPerSec float64, horizon sim.Time) []sim.Time {
+	rng := sim.NewRNG(seed ^ 0xa441)
+	var out []sim.Time
+	t := sim.Time(0)
+	for {
+		u := rng.Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		gap := sim.Time(-math.Log(u) / packetsPerSec * float64(sim.Second))
+		t += gap
+		if t >= horizon {
+			return out
+		}
+		out = append(out, t)
+	}
+}

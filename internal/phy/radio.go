@@ -146,6 +146,14 @@ func NewRadio(id int, params Params, sched *sim.Scheduler, rng *sim.RNG, channel
 	return r
 }
 
+// SetCSThresholdDBm overrides this radio's carrier-sense threshold,
+// leaving the rest of the network at the medium-wide default. The
+// CS-threshold MAC arms use it to sweep sensing aggressiveness per
+// node; it only affects CarrierBusy, never reception outcomes.
+func (r *Radio) SetCSThresholdDBm(dbm float64) {
+	r.csMW = radio.DBmToMW(dbm)
+}
+
 // deriveLinear folds every dB-domain reception constant into the linear
 // multipliers the hot path uses. The algebra: with SINR already linear,
 //

@@ -35,6 +35,12 @@ type Scenario struct {
 	// scenarios behave exactly as before the traffic subsystem existed.
 	// cmd/cmapsim consults it when its -traffic flag is left empty.
 	Traffic traffic.Spec
+
+	// Arms is the scenario's suggested MAC arm set: internal/mac registry
+	// names a driver should default to when the user picks none. Empty
+	// keeps the driver's own default. cmd/cmapsim runs the first entry
+	// when its -arm and -protocol flags are left untouched.
+	Arms []string
 }
 
 // N returns the node count.
@@ -93,6 +99,9 @@ func GridCity(blocksX, blocksY, perBlock int, blockM float64, seed uint64) *Scen
 		Pos:    pos,
 		Params: phy.DefaultParams(),
 		Model:  radio.DefaultUrban5GHz(seed),
+		// Dense blocks separated by streets are exposed-terminal country:
+		// the conflict-map arm is the interesting comparison to stock DCF.
+		Arms: []string{"cmap", "csma"},
 	}
 }
 
@@ -107,6 +116,10 @@ func ClusteredAPs(cells, clients int, sideM, cellRadiusM float64, seed uint64) *
 		Bounds: geo.Rect{MinX: 0, MinY: 0, MaxX: sideM, MaxY: sideM},
 		Params: phy.DefaultParams(),
 		Model:  radio.DefaultIndoor5GHz(seed),
+		// Infrastructure cells hide clients from each other behind the
+		// AP, so stock DCF versus the RTS/CTS handshake is the natural
+		// pairing here.
+		Arms: []string{"csma", "rtscts"},
 	}
 	inset := math.Min(cellRadiusM, sideM/2)
 	for c := 0; c < cells; c++ {
