@@ -20,10 +20,18 @@
 #   make conformance  the shared MAC conformance suite (every registered
 #                   arm: allocation, determinism, worker-equivalence and
 #                   conservation contracts) under the race detector
+#   make shard-conformance  the sharded-engine matrix under the race
+#                   detector: shards=1 bit-identity vs serial,
+#                   determinism and figure-level equivalence at 2–4
+#                   shards, end-to-end through experiments
+#   make bench-guard  compare the two newest checked-in BENCH_*.json and
+#                   fail on >20% ns/op regression in SaturatedSteadyState
+#                   (BENCHDIFF_SKIP=1 accepts a deliberate one)
 #   make cover      coverage profile over every package (coverage.out)
 #                   with hard floors on internal/analytic and internal/mac
 #   make ci         the full gate: vet + race short tier + alloc gate + golden tier
-#                   + conformance + bench smoke + docs check + fuzz smoke + coverage floor
+#                   + conformance + shard conformance + bench guard
+#                   + bench smoke + docs check + fuzz smoke + coverage floor
 
 GO ?= go
 
@@ -36,7 +44,7 @@ ANALYTIC_COVER_FLOOR ?= 85
 # stay exercised.
 MAC_COVER_FLOOR ?= 85
 
-.PHONY: build test test-full race bench check vet golden alloc-check bench-json profile bench-smoke docs-check fuzz-smoke conformance cover ci
+.PHONY: build test test-full race bench check vet golden alloc-check bench-json profile bench-smoke docs-check fuzz-smoke conformance shard-conformance bench-guard cover ci
 
 build:
 	$(GO) build ./...
@@ -101,6 +109,20 @@ fuzz-smoke:
 conformance:
 	$(GO) test -race -count=1 ./internal/mac/conformance
 
+# The sharded engine's conformance matrix under the race detector:
+# shards=1 bit-identical to the serial engine (the golden guarantee),
+# determinism at fixed shard counts, figure-level equivalence at 2 and
+# 4 shards, plus the same contracts through experiments.Options.Shards.
+shard-conformance:
+	$(GO) test -race -count=1 -run 'TestShard|TestPartition|TestEngine' ./internal/shard ./internal/geo
+	$(GO) test -race -count=1 -run 'TestSharded' ./internal/experiments
+
+# Bench regression guard: the two most recently committed BENCH_*.json
+# are diffed; >20% ns/op growth in SaturatedSteadyState fails the gate.
+# BENCHDIFF_SKIP=1 accepts a deliberate regression (say why in the PR).
+bench-guard:
+	$(GO) run ./cmd/benchdiff -auto
+
 # Coverage profile over the whole module plus hard floors on the
 # analytic oracle (its numbers gate the cross-validation tier) and the
 # MAC arm registry (every experiment resolves protocols through it).
@@ -121,6 +143,8 @@ ci: build vet
 	$(MAKE) alloc-check
 	$(MAKE) golden
 	$(MAKE) conformance
+	$(MAKE) shard-conformance
+	$(MAKE) bench-guard
 	$(MAKE) bench-smoke
 	$(MAKE) docs-check
 	$(MAKE) fuzz-smoke

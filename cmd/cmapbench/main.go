@@ -5,7 +5,12 @@
 // Usage:
 //
 //	cmapbench [-seed N] [-scale quick|mid|paper] [-only fig12,mesh,loadsweep,cssweep,...] [-parallel W] [-trials N] [-progress]
-//	          [-arms csma,cmap,rtscts,cs@-82,...] [-traffic cbr|poisson|onoff] [-load 0.5,1,2,4,8]
+//	          [-arms csma,cmap,rtscts,cs@-82,...] [-traffic cbr|poisson|onoff] [-load 0.5,1,2,4,8] [-shards N]
+//
+// -shards runs every figure's flow simulations on the sharded engine
+// (internal/shard) with N shards per run — deterministic, figure-level
+// equivalent to serial, and a whole-simulation parallelism axis that
+// composes with the -parallel trial fan-out.
 //
 // "paper" runs the full 100-second, 50-topology methodology (slow);
 // "mid" is the EXPERIMENTS.md scale (30 s runs); "quick" is CI-sized.
@@ -106,6 +111,7 @@ func main() {
 	analyticScreen := flag.Bool("analytic", false, "screen the standard (scenario × load) grid through the analytic oracle and exit")
 	analyticVerify := flag.Bool("analytic-verify", false, "with -analytic: also simulate the full grid and report agreement and speedup")
 	benchJSON := flag.Bool("benchjson", false, "run the scaling benchmarks, write BENCH_<git-short-sha>.json, and exit")
+	shards := flag.Int("shards", 0, "run every figure's simulations on the sharded engine with N shards (<=1 = serial)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
@@ -174,6 +180,7 @@ func main() {
 		os.Exit(2)
 	}
 	opt.Workers = *parallel
+	opt.Shards = *shards
 	if *trials > 0 {
 		opt.Pairs = *trials
 		opt.Triples = *trials

@@ -6,7 +6,7 @@
 //
 //	cmapsim [-seed N] [-topology exposed|inrange|hidden] [-protocol cmap|cmap1|dcf|dcf-nocs|dcf-nocs-noack]
 //	        [-arm csma|rtscts|cs@-82|...] [-duration 30s] [-index 0] [-trace N] [-trials 1] [-parallel 0]
-//	        [-traffic cbr|poisson|onoff] [-load 2.0] [-churn 500ms] [-predict]
+//	        [-traffic cbr|poisson|onoff] [-load 2.0] [-churn 500ms] [-predict] [-shards N]
 //	cmapsim -scenario gridcity|clusters|disk [-nodes 200] ...
 //
 // -arm runs any arm of the internal/mac registry by name — including
@@ -34,6 +34,17 @@
 // duration. Left empty, -traffic falls back to the scenario's suggested
 // workload (saturated for all built-in layouts).
 //
+// -shards partitions the single simulation across N shard goroutines
+// (the internal/shard engine) on the registry -arm path. Each flow's
+// endpoints are co-sharded; interference between the two flows crosses
+// the shard border with the engine's lookahead-window latency. -shards 1
+// is serial (bit-identical numbers). Larger counts are deterministic,
+// but note the microscope is the engine's worst case: a pair chosen for
+// strong cross-flow carrier-sense coupling puts the whole interaction
+// on the border, so the deviation is far above what network-scale
+// aggregates see — useful for inspecting exactly what the window
+// perturbs, not for quoting goodput.
+//
 // -scenario swaps the paper's office floor for one of the large-scale
 // generated layouts (sized by -nodes) and picks the experiment pair with
 // the same link-selection methodology on top of it; the underlying
@@ -52,14 +63,36 @@ import (
 	"repro/internal/core"
 	"repro/internal/csma"
 	"repro/internal/mac"
+	"repro/internal/medium"
 	"repro/internal/phy"
 	"repro/internal/runner"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/internal/traffic"
 )
+
+// simNet is the engine surface runTrialArm needs: a per-node network
+// attachment point, a per-node scheduler, and a clock to drive. The
+// serial medium and the sharded engine both provide it, so -shards is a
+// wiring choice rather than a separate code path.
+type simNet interface {
+	Network(id int) mac.Network
+	SchedulerOf(id int) *sim.Scheduler
+	Run(until sim.Time)
+}
+
+// serialNet adapts the serial medium + scheduler pair to simNet.
+type serialNet struct {
+	m     *medium.Medium
+	sched *sim.Scheduler
+}
+
+func (s serialNet) Network(int) mac.Network        { return s.m }
+func (s serialNet) SchedulerOf(int) *sim.Scheduler { return s.sched }
+func (s serialNet) Run(until sim.Time)             { s.sched.Run(until) }
 
 // predictPair runs the analytic oracle over the selected pair and prints
 // its per-flow saturated prediction, or explains why the protocol has no
@@ -245,11 +278,22 @@ func resolveArm(name string) (mac.Arm, error) {
 // detail report sticks to the arm-independent surface (goodput and MAC
 // drops); the legacy -protocol path keeps its protocol-specific
 // counters.
-func runTrialArm(tb *topo.Testbed, pair topo.LinkPair, armName string, spec traffic.Spec, d sim.Time, seed uint64, detail bool) trialResult {
+func runTrialArm(tb *topo.Testbed, pair topo.LinkPair, armName string, spec traffic.Spec, d sim.Time, seed uint64, shards int, detail bool) trialResult {
 	arm := mac.MustLookup(armName)
-	sched := sim.NewScheduler()
 	rng := sim.NewRNG(seed)
-	m := tb.Build(sched, rng.Stream(1))
+	var net simNet
+	if shards > 1 {
+		// The sharded engine: flow endpoints co-shard, the channel stream
+		// and per-node streams match the serial wiring below, so -shards 1
+		// and the serial path print identical numbers.
+		net = shard.NewEngine(tb.Params, tb.Model, tb.Pos, rng.Stream(1), shard.Config{
+			Shards: shards,
+			Flows:  [][2]int{{pair.A.Src, pair.A.Dst}, {pair.B.Src, pair.B.Dst}},
+		})
+	} else {
+		sched := sim.NewScheduler()
+		net = serialNet{m: tb.Build(sched, rng.Stream(1)), sched: sched}
+	}
 	warm := d * 2 / 5
 	meters := [2]*stats.Meter{
 		{Start: warm, End: d},
@@ -260,8 +304,8 @@ func runTrialArm(tb *topo.Testbed, pair topo.LinkPair, armName string, spec traf
 	var sources [2]*traffic.Source
 	var senders [2]mac.Node
 	for i, f := range flows {
-		tx := arm.New(f.Src, m, rng.Stream(uint64(100+i)), mac.Options{Rate: phy.Rate6Mbps})
-		rx := arm.New(f.Dst, m, rng.Stream(uint64(200+i)), mac.Options{Rate: phy.Rate6Mbps})
+		tx := arm.New(f.Src, net.Network(f.Src), rng.Stream(uint64(100+i)), mac.Options{Rate: phy.Rate6Mbps})
+		rx := arm.New(f.Dst, net.Network(f.Dst), rng.Stream(uint64(200+i)), mac.Options{Rate: phy.Rate6Mbps})
 		rx.SetMeter(meters[i])
 		senders[i] = tx
 		if spec.Kind == traffic.Saturated {
@@ -269,7 +313,7 @@ func runTrialArm(tb *topo.Testbed, pair topo.LinkPair, armName string, spec traf
 			continue
 		}
 		res.lats[i] = &stats.Latency{W: stats.Window{Start: warm, End: d}}
-		src := traffic.NewSource(sched, rng.Stream(uint64(300+i)), spec, tx, f.Dst)
+		src := traffic.NewSource(net.SchedulerOf(f.Src), rng.Stream(uint64(300+i)), spec, tx, f.Dst)
 		src.EnableLatency(tx.LatencyWindow())
 		sources[i] = src
 		lat := res.lats[i]
@@ -284,7 +328,7 @@ func runTrialArm(tb *topo.Testbed, pair topo.LinkPair, armName string, spec traf
 		})
 		src.Start()
 	}
-	sched.Run(d)
+	net.Run(d)
 	if detail {
 		for i, f := range flows {
 			fmt.Printf("flow %d→%d: %.2f Mb/s  macDropped=%d\n",
@@ -374,6 +418,7 @@ func main() {
 	load := flag.Float64("load", 2.0, "per-flow offered load in Mb/s of payload (non-saturated -traffic only)")
 	churn := flag.Duration("churn", 0, "mean session up/down duration for flow churn (0 = no churn)")
 	predict := flag.Bool("predict", false, "also print the analytic oracle's saturated per-flow prediction")
+	shards := flag.Int("shards", 0, "partition the simulation across N shard goroutines (registry -arm path only; <=1 = serial)")
 	flag.Parse()
 
 	if *armFlag == "list" {
@@ -474,11 +519,18 @@ func main() {
 		predictPair(tb, pair, name, *seed)
 	}
 
+	if *shards > 1 && *armFlag == "" {
+		// The legacy -protocol microscope is serial-only; sharding runs
+		// through the registry wiring.
+		fmt.Fprintln(os.Stderr, "-shards needs the registry path: pass -arm (e.g. -arm cmap)")
+		os.Exit(2)
+	}
+
 	// trial dispatches one replay: through the registry for -arm, through
 	// the protocol-specific microscope for the legacy -protocol names.
 	trial := func(seed uint64, detail bool, traceN int) trialResult {
 		if *armFlag != "" {
-			return runTrialArm(tb, pair, *armFlag, spec, sim.Duration(*duration), seed, detail)
+			return runTrialArm(tb, pair, *armFlag, spec, sim.Duration(*duration), seed, *shards, detail)
 		}
 		return runTrial(tb, pair, *protocol, spec, sim.Duration(*duration), seed, detail, traceN)
 	}

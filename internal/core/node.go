@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/frame"
-	"repro/internal/medium"
+	"repro/internal/mac"
 	"repro/internal/phy"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -173,8 +173,8 @@ type Node struct {
 	stat Stats
 }
 
-// New creates a CMAP node on medium node id.
-func New(id int, cfg Config, m *medium.Medium, rng *sim.RNG) *Node {
+// New creates a CMAP node on network node id.
+func New(id int, cfg Config, m mac.Network, rng *sim.RNG) *Node {
 	n := &Node{
 		id:          id,
 		cfg:         cfg,

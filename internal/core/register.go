@@ -8,7 +8,6 @@ package core
 
 import (
 	"repro/internal/mac"
-	"repro/internal/medium"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -42,7 +41,7 @@ func (a arm) Name() string     { return a.name }
 func (a arm) Label() string    { return a.label }
 func (a arm) SeedSalt() uint64 { return a.salt }
 
-func (a arm) New(id int, m *medium.Medium, rng *sim.RNG, opt mac.Options) mac.Node {
+func (a arm) New(id int, m mac.Network, rng *sim.RNG, opt mac.Options) mac.Node {
 	cfg := DefaultConfig()
 	cfg.Rate = opt.Rate
 	if a.configure != nil {

@@ -2,7 +2,7 @@ package csma
 
 import (
 	"repro/internal/frame"
-	"repro/internal/medium"
+	"repro/internal/mac"
 	"repro/internal/phy"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -143,8 +143,8 @@ type Stats struct {
 	CtsTimeout uint64 // RTS attempts that drew no CTS
 }
 
-// New creates a DCF node on medium node id.
-func New(id int, cfg Config, m *medium.Medium, rng *sim.RNG) *Node {
+// New creates a DCF node on network node id.
+func New(id int, cfg Config, m mac.Network, rng *sim.RNG) *Node {
 	n := &Node{
 		id:      id,
 		cfg:     cfg,

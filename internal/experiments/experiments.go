@@ -120,6 +120,14 @@ type Options struct {
 	// that compares protocols (pair figures, the offered-load sweep, the
 	// analytic screen). Empty keeps each figure's paper-default arms.
 	Arms []Protocol
+	// Shards partitions each single simulation spatially across that
+	// many event-loop goroutines (internal/shard). 0 and 1 keep the
+	// serial reference engine — the golden-trace path. Counts above 1
+	// are deterministic for a fixed count but figure-level rather than
+	// bit-level equivalent to serial: cross-shard signals arrive one
+	// lookahead window late. Orthogonal to Workers, which parallelizes
+	// across independent trials.
+	Shards int
 }
 
 // armsOr returns opt.Arms if set, else the figure's default arm list.
@@ -212,6 +220,9 @@ func (r FlowResult) HdrOrTrailFrac() float64 {
 // any other Options.Traffic kind dispatches to the arrival-process
 // path, which additionally measures drops and per-packet latency.
 func runFlows(tb *topo.Testbed, flows []topo.Link, p Protocol, opt Options, runSeed uint64) []FlowResult {
+	if opt.Shards > 1 {
+		return runShardedFlows(tb, flows, p, opt, runSeed)
+	}
 	if opt.Traffic.Kind != traffic.Saturated {
 		return runTrafficFlows(tb, flows, p, opt, runSeed)
 	}

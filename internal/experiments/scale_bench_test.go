@@ -54,10 +54,33 @@ func TestSaturatedNetworkCarriesTraffic(t *testing.T) {
 	}
 }
 
+// TestShardedSaturatedNetworkCarriesTraffic sanity-checks the sharded
+// steady-state fixture at several shard counts: warmed-up saturated
+// flows must keep transmitting as the window advances, and the fixture
+// must be deterministic (the benchmark rows are comparable run to run).
+func TestShardedSaturatedNetworkCarriesTraffic(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			net := NewShardedSaturatedNetwork(100, shards, 1)
+			before := net.Engine.Transmissions()
+			net.Advance(20 * sim.Millisecond)
+			after := net.Engine.Transmissions()
+			if after <= before {
+				t.Fatalf("no transmissions in a sharded steady-state window (%d → %d)", before, after)
+			}
+			twin := NewShardedSaturatedNetwork(100, shards, 1)
+			twin.Advance(20 * sim.Millisecond)
+			if got := twin.Engine.Transmissions(); got != after {
+				t.Fatalf("fixture not deterministic: %d vs %d transmissions", got, after)
+			}
+		})
+	}
+}
+
 // BenchmarkMediumConstruct measures channel construction across the
 // node-count sweep; allocations stay O(n·k), not O(n²).
 func BenchmarkMediumConstruct(b *testing.B) {
-	for _, n := range ScaleSizes {
+	for _, n := range MediumConstructSizes {
 		b.Run(fmt.Sprintf("n=%d", n), BenchMediumConstruct(n))
 	}
 }
@@ -95,5 +118,14 @@ func BenchmarkScaleTraffic(b *testing.B) {
 func BenchmarkSaturatedSteadyState(b *testing.B) {
 	for _, n := range ScaleSizes {
 		b.Run(fmt.Sprintf("n=%d", n), BenchSaturatedSteadyState(n))
+	}
+}
+
+// BenchmarkShardedSteadyState is the go-test face of the sharded scaling
+// matrix at its smallest size; the full n × shards grid runs through
+// cmapbench -benchjson, which records it in the BENCH trajectory.
+func BenchmarkShardedSteadyState(b *testing.B) {
+	for _, k := range ShardCounts {
+		b.Run(fmt.Sprintf("n=1000/shards=%d", k), BenchShardedSteadyState(1000, k))
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/csma"
 	"repro/internal/medium"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
@@ -25,10 +26,40 @@ const ScaleDensity = 50 // nodes per km²
 // ScaleSizes is the node-count sweep shared by every scaling benchmark.
 var ScaleSizes = []int{50, 200, 1000}
 
+// MediumConstructSizes extends the construction sweep past the traffic
+// sizes: construction is cheap enough to benchmark at node counts where
+// a full traffic run would dominate the suite.
+var MediumConstructSizes = []int{50, 200, 1000, 5000}
+
+// ShardScaleSizes × ShardCounts is the sharded-engine scaling matrix.
+// On a multi-core host the shards>1 columns show the wall-clock win;
+// on one core they price the window-barrier overhead instead.
+var (
+	ShardScaleSizes = []int{1000, 5000, 10000}
+	ShardCounts     = []int{1, 2, 4, 8}
+)
+
+// NeighborLister is the audibility surface the flow picker needs: who
+// hears node i, and how loudly. *medium.Medium and *shard.Engine both
+// satisfy it over the same delivery lists.
+type NeighborLister interface {
+	ForEachNeighbor(i int, fn func(dst int, gainMW float64))
+}
+
+// deliveryLists adapts raw delivery lists to NeighborLister, so flows
+// can be picked before the engine that will use the lists exists.
+type deliveryLists [][]medium.Delivery
+
+func (d deliveryLists) ForEachNeighbor(i int, fn func(dst int, gainMW float64)) {
+	for _, e := range d[i] {
+		fn(e.Dst, e.GainMW)
+	}
+}
+
 // ScaleFlows picks one saturated flow per stride nodes: each source
 // sends to the receiver that hears it loudest. No O(n²) measurement
 // pass is involved — the delivery lists already know the answer.
-func ScaleFlows(s *topo.Scenario, m *medium.Medium, count int) []topo.Link {
+func ScaleFlows(s *topo.Scenario, m NeighborLister, count int) []topo.Link {
 	flows := make([]topo.Link, 0, count)
 	used := map[int]bool{}
 	stride := s.N() / count
@@ -51,10 +82,10 @@ func ScaleFlows(s *topo.Scenario, m *medium.Medium, count int) []topo.Link {
 	return flows
 }
 
-// RunScaleTraffic drives saturated 802.11 flows over a fresh build of
-// the scenario for a short virtual window and returns the aggregate
-// goodput, exercising the sparse Transmit fan-out end to end.
-func RunScaleTraffic(s *topo.Scenario, flows []topo.Link, d sim.Time, seed uint64) float64 {
+// buildScaleRun constructs the scheduler, medium, and saturated csma
+// wiring of one scale-traffic run, stopping just short of running it —
+// the split exists so benchmarks can keep construction off the timer.
+func buildScaleRun(s *topo.Scenario, flows []topo.Link, d sim.Time, seed uint64) (*sim.Scheduler, []*stats.Meter) {
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(seed)
 	m := s.Build(sched, rng.Stream(1))
@@ -67,6 +98,14 @@ func RunScaleTraffic(s *topo.Scenario, flows []topo.Link, d sim.Time, seed uint6
 		rx.Meter = meters[i]
 		tx.SetSaturated(f.Dst)
 	}
+	return sched, meters
+}
+
+// RunScaleTraffic drives saturated 802.11 flows over a fresh build of
+// the scenario for a short virtual window and returns the aggregate
+// goodput, exercising the sparse Transmit fan-out end to end.
+func RunScaleTraffic(s *topo.Scenario, flows []topo.Link, d sim.Time, seed uint64) float64 {
+	sched, meters := buildScaleRun(s, flows, d, seed)
 	sched.Run(d)
 	var agg float64
 	for _, mt := range meters {
@@ -110,6 +149,50 @@ func (sn *SaturatedNetwork) Advance(d sim.Time) {
 	sn.Sched.Run(sn.Sched.Now() + d)
 }
 
+// ShardedSaturatedNetwork is the sharded analogue of SaturatedNetwork:
+// the same disk, the same flow-picking rule, the same saturated csma
+// wiring — but the event loop partitioned across shards. The delivery
+// lists are built once and shared between the flow picker and the
+// engine.
+type ShardedSaturatedNetwork struct {
+	Engine *shard.Engine
+	Flows  []topo.Link
+}
+
+// NewShardedSaturatedNetwork builds an n-node uniform disk at
+// ScaleDensity carrying one saturated flow per ten nodes on a
+// shards-way engine, warmed past the cold-start transient.
+func NewShardedSaturatedNetwork(n, shards int, seed uint64) *ShardedSaturatedNetwork {
+	s := topo.UniformDisk(n, ScaleDensity, seed)
+	rng := sim.NewRNG(seed)
+	engStream := rng.Stream(1) // the stream s.Build would hand the medium
+	lists, _ := medium.BuildDeliveries(s.Params, s.Model, s.Pos, 0)
+	flows := ScaleFlows(s, deliveryLists(lists), n/10+2)
+	pairs := make([][2]int, len(flows))
+	for i, f := range flows {
+		pairs[i] = [2]int{f.Src, f.Dst}
+	}
+	eng := shard.NewEngine(s.Params, s.Model, s.Pos, engStream, shard.Config{
+		Shards:     shards,
+		Flows:      pairs,
+		Deliveries: lists,
+	})
+	cfg := csma.DefaultConfig()
+	for _, f := range flows {
+		tx := csma.New(f.Src, cfg, eng.Network(f.Src), rng.Stream(uint64(1000+f.Src)))
+		csma.New(f.Dst, cfg, eng.Network(f.Dst), rng.Stream(uint64(1000+f.Dst)))
+		tx.SetSaturated(f.Dst)
+	}
+	net := &ShardedSaturatedNetwork{Engine: eng, Flows: flows}
+	net.Advance(20 * sim.Millisecond) // warm past the cold-start transient
+	return net
+}
+
+// Advance runs the sharded network d further through virtual time.
+func (sn *ShardedSaturatedNetwork) Advance(d sim.Time) {
+	sn.Engine.Run(sn.Engine.Now() + d)
+}
+
 // ScaleBenchmark is one scaling benchmark runnable outside `go test`.
 type ScaleBenchmark struct {
 	Name string
@@ -130,9 +213,11 @@ func BenchMediumConstruct(n int) func(b *testing.B) {
 	}
 }
 
-// BenchScaleTraffic measures a fresh-build 20 ms saturated run at size
-// n (construction included — the PR 2 shape, kept for trajectory
-// comparability).
+// BenchScaleTraffic measures a fresh 20 ms saturated run at size n with
+// construction kept OFF the timer (each iteration builds between
+// StopTimer and StartTimer): the reported ns/op is per-window traffic
+// cost, not construction cost in disguise. BENCH files from before PR 8
+// recorded the construction-inclusive shape under the same name.
 func BenchScaleTraffic(n int) func(b *testing.B) {
 	s := topo.UniformDisk(n, ScaleDensity, 1)
 	m := s.Build(sim.NewScheduler(), sim.NewRNG(1))
@@ -142,8 +227,12 @@ func BenchScaleTraffic(n int) func(b *testing.B) {
 			b.Fatalf("no flows at n=%d", n)
 		}
 		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			RunScaleTraffic(s, flows, 20*sim.Millisecond, uint64(i)+1)
+			b.StopTimer()
+			sched, _ := buildScaleRun(s, flows, 20*sim.Millisecond, uint64(i)+1)
+			b.StartTimer()
+			sched.Run(20 * sim.Millisecond)
 		}
 	}
 }
@@ -165,10 +254,28 @@ func BenchSaturatedSteadyState(n int) func(b *testing.B) {
 	}
 }
 
+// BenchShardedSteadyState measures 20 ms virtual-time windows of
+// saturated traffic on a persistent n-node sharded engine. shards=1 is
+// the serial engine through the same fixture, so the shards>1 rows read
+// directly as parallel speedup (or, on one core, barrier overhead).
+func BenchShardedSteadyState(n, shards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		net := NewShardedSaturatedNetwork(n, shards, 1)
+		if len(net.Flows) == 0 {
+			b.Fatalf("no flows at n=%d", n)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.Advance(20 * sim.Millisecond)
+		}
+	}
+}
+
 // ScaleBenchmarks returns the scaling suite cmapbench -benchjson runs.
 func ScaleBenchmarks() []ScaleBenchmark {
 	var out []ScaleBenchmark
-	for _, n := range ScaleSizes {
+	for _, n := range MediumConstructSizes {
 		out = append(out, ScaleBenchmark{
 			Name: fmt.Sprintf("MediumConstruct/n=%d", n),
 			Run:  BenchMediumConstruct(n),
@@ -185,6 +292,14 @@ func ScaleBenchmarks() []ScaleBenchmark {
 			Name: fmt.Sprintf("SaturatedSteadyState/n=%d", n),
 			Run:  BenchSaturatedSteadyState(n),
 		})
+	}
+	for _, n := range ShardScaleSizes {
+		for _, k := range ShardCounts {
+			out = append(out, ScaleBenchmark{
+				Name: fmt.Sprintf("ShardedSteadyState/n=%d/shards=%d", n, k),
+				Run:  BenchShardedSteadyState(n, k),
+			})
+		}
 	}
 	return out
 }

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"repro/internal/mac"
+	"repro/internal/shard"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// runShardedFlows is runFlows over the spatially sharded engine: the
+// same MAC wiring and the same RNG streams (node i's radio and MAC
+// draw from the identical streams at every shard count), but the event
+// loop is partitioned across Options.Shards goroutines. Flow endpoints
+// are co-sharded by the engine so no data/ACK exchange pays the
+// cross-shard lookahead latency; only interference crosses borders.
+// Both workload kinds run here — the saturated default and the
+// traffic.Source arrival processes, whose sources attach to their
+// flow's shard scheduler.
+func runShardedFlows(tb *topo.Testbed, flows []topo.Link, p Protocol, opt Options, runSeed uint64) []FlowResult {
+	rng := sim.NewRNG(runSeed)
+	pairs := make([][2]int, len(flows))
+	for i, f := range flows {
+		pairs[i] = [2]int{f.Src, f.Dst}
+	}
+	eng := shard.NewEngine(tb.Params, tb.Model, tb.Pos, rng.Stream(1), shard.Config{
+		Shards: opt.Shards,
+		Flows:  pairs,
+	})
+	saturated := opt.Traffic.Kind == traffic.Saturated
+
+	meters := make([]*stats.Meter, len(flows))
+	results := make([]FlowResult, len(flows))
+	var lats []*stats.Latency
+	var sources []*traffic.Source
+	if !saturated {
+		lats = make([]*stats.Latency, len(flows))
+		sources = make([]*traffic.Source, len(flows))
+	}
+	window := stats.Window{Start: opt.Warmup, End: opt.Duration}
+	deliver := func(i, wantSrc int) func(src int, seq uint32, now sim.Time) {
+		return func(src int, seq uint32, now sim.Time) {
+			if src != wantSrc {
+				return
+			}
+			if at, ok := sources[i].ArrivalTime(seq); ok {
+				lats[i].Record(now, now-at)
+			}
+		}
+	}
+
+	arm := mac.MustLookup(string(p))
+	senders := make([]mac.Node, len(flows))
+	receivers := make([]mac.Node, len(flows))
+	nodes := map[int]mac.Node{}
+	mk := func(id int) mac.Node {
+		if n, ok := nodes[id]; ok {
+			return n
+		}
+		n := arm.New(id, eng.Network(id), rng.Stream(uint64(1000+id)), mac.Options{Rate: opt.Rate})
+		nodes[id] = n
+		return n
+	}
+	for i, f := range flows {
+		senders[i] = mk(f.Src)
+		receivers[i] = mk(f.Dst)
+		meters[i] = &stats.Meter{Start: opt.Warmup, End: opt.Duration}
+		receivers[i].SetMeter(meters[i])
+		if saturated {
+			senders[i].SetSaturated(f.Dst)
+			continue
+		}
+		lats[i] = &stats.Latency{W: window}
+		receivers[i].SetOnDeliver(deliver(i, f.Src))
+		// The source lives on the sender's shard: arrivals and the MAC
+		// they feed share one single-threaded agenda.
+		src := traffic.NewSource(eng.SchedulerOf(f.Src), rng.Stream(uint64(5000+i)), opt.Traffic, senders[i], f.Dst)
+		src.EnableLatency(senders[i].LatencyWindow())
+		sources[i] = src
+		src.Start()
+	}
+	eng.Run(opt.Duration)
+	for i, f := range flows {
+		results[i] = FlowResult{Link: f, Mbps: meters[i].Mbps()}
+		if !saturated {
+			st := sources[i].Stats()
+			results[i].OfferedPkts = st.Offered
+			results[i].AcceptedPkts = st.Accepted
+			results[i].DroppedPkts = st.Dropped
+			results[i].DeliveredPkts = meters[i].Packets()
+			results[i].Lat = lats[i]
+		}
+		if sv, ok := senders[i].(mac.Visibility); ok {
+			_, hdr, hot := receivers[i].(mac.Visibility).FlowCounters(f.Src)
+			results[i].VpktsSent = sv.VpktsSent()
+			results[i].VpktsHeader = hdr
+			results[i].VpktsHdrOrTrail = hot
+		}
+	}
+	return results
+}

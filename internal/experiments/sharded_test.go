@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// shardedTestOptions is a short-run configuration sized so the full
+// serial-vs-sharded comparison matrix stays in test time, with enough
+// post-warmup window that goodput is not quantization noise.
+func shardedTestOptions(shards int) Options {
+	opt := Quick(1)
+	opt.Duration = 300 * sim.Millisecond
+	opt.Warmup = 50 * sim.Millisecond
+	opt.Shards = shards
+	return opt
+}
+
+// shardedTestFlows samples non-overlapping potential-link flows spread
+// across the testbed (same shape as the shard package's own harness).
+func shardedTestFlows(tb *topo.Testbed, seed uint64, count int) []topo.Link {
+	rng := sim.NewRNG(seed)
+	pairs := tb.InRangePairs(rng, count)
+	var flows []topo.Link
+	used := map[int]bool{}
+	for _, p := range pairs {
+		for _, l := range []topo.Link{p.A, p.B} {
+			if used[l.Src] || used[l.Dst] {
+				continue
+			}
+			used[l.Src], used[l.Dst] = true, true
+			flows = append(flows, l)
+		}
+	}
+	return flows
+}
+
+// TestShardedRunFlowsEquivalence pins the Options.Shards plumbing end to
+// end through runFlows: shards=1 must be bit-identical to the serial
+// path (same goodput to the last bit), and shards>1 must stay at
+// figure-level equivalence — per-flow within 30% or 0.25 Mb/s, aggregate
+// within 15% — exactly the bound the shard package proves for its own
+// harness.
+func TestShardedRunFlowsEquivalence(t *testing.T) {
+	tb := topo.NewTestbed(50, 11)
+	flows := shardedTestFlows(tb, 23, 4)
+	if len(flows) < 2 {
+		t.Fatalf("only %d flows sampled", len(flows))
+	}
+	const seed = 0xfeed
+	ref := runFlows(tb, flows, CSMAOn, shardedTestOptions(0), seed)
+	var refAgg float64
+	for _, r := range ref {
+		refAgg += r.Mbps
+	}
+
+	t.Run("shards=1", func(t *testing.T) {
+		// Shards<=1 stays on the serial path in runFlows, so call the
+		// sharded runner directly: one shard must be the serial engine.
+		got := runShardedFlows(tb, flows, CSMAOn, shardedTestOptions(1), seed)
+		for i := range ref {
+			if got[i].Mbps != ref[i].Mbps {
+				t.Fatalf("flow %d: sharded %.9f Mb/s, serial %.9f Mb/s", i, got[i].Mbps, ref[i].Mbps)
+			}
+		}
+	})
+
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			got := runFlows(tb, flows, CSMAOn, shardedTestOptions(shards), seed)
+			var agg float64
+			for i := range ref {
+				agg += got[i].Mbps
+				diff := got[i].Mbps - ref[i].Mbps
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > 0.30*ref[i].Mbps && diff > 0.25 {
+					t.Errorf("flow %d: sharded %.3f Mb/s vs serial %.3f Mb/s", i, got[i].Mbps, ref[i].Mbps)
+				}
+			}
+			if aggDiff := agg - refAgg; aggDiff > 0.15*refAgg || -aggDiff > 0.15*refAgg {
+				t.Errorf("aggregate: sharded %.3f Mb/s vs serial %.3f Mb/s", agg, refAgg)
+			}
+		})
+	}
+}
+
+// TestShardedRunFlowsDeterminism pins run-to-run determinism of the
+// experiments-level sharded path at a fixed shard count.
+func TestShardedRunFlowsDeterminism(t *testing.T) {
+	tb := topo.NewTestbed(50, 5)
+	flows := shardedTestFlows(tb, 31, 4)
+	opt := shardedTestOptions(3)
+	a := runFlows(tb, flows, CMAP, opt, 0xd5)
+	b := runFlows(tb, flows, CMAP, opt, 0xd5)
+	for i := range a {
+		if a[i].Mbps != b[i].Mbps || a[i].VpktsSent != b[i].VpktsSent {
+			t.Fatalf("flow %d differs across identical runs: %.9f/%d vs %.9f/%d",
+				i, a[i].Mbps, a[i].VpktsSent, b[i].Mbps, b[i].VpktsSent)
+		}
+	}
+}
+
+// TestShardedTrafficFlows covers the arrival-process workload on the
+// sharded engine: at one shard the Poisson run is bit-identical to the
+// serial traffic path (sources share the MAC's scheduler and draw the
+// same streams), and at shards>1 it is deterministic and still delivers.
+func TestShardedTrafficFlows(t *testing.T) {
+	tb := topo.NewTestbed(50, 11)
+	flows := shardedTestFlows(tb, 23, 4)
+	mkOpt := func(shards int) Options {
+		opt := shardedTestOptions(shards)
+		opt.Traffic = traffic.Spec{Kind: traffic.Poisson}.WithOfferedMbps(2.0, 1400)
+		return opt
+	}
+	const seed = 0xace
+	ref := runFlows(tb, flows, CSMAOn, mkOpt(0), seed)
+
+	t.Run("shards=1", func(t *testing.T) {
+		got := runShardedFlows(tb, flows, CSMAOn, mkOpt(1), seed)
+		for i := range ref {
+			if got[i].Mbps != ref[i].Mbps ||
+				got[i].OfferedPkts != ref[i].OfferedPkts ||
+				got[i].AcceptedPkts != ref[i].AcceptedPkts ||
+				got[i].DeliveredPkts != ref[i].DeliveredPkts {
+				t.Fatalf("flow %d: sharded %.9f Mb/s (%d/%d/%d pkts) vs serial %.9f Mb/s (%d/%d/%d pkts)",
+					i, got[i].Mbps, got[i].OfferedPkts, got[i].AcceptedPkts, got[i].DeliveredPkts,
+					ref[i].Mbps, ref[i].OfferedPkts, ref[i].AcceptedPkts, ref[i].DeliveredPkts)
+			}
+		}
+	})
+
+	t.Run("shards=2", func(t *testing.T) {
+		a := runFlows(tb, flows, CSMAOn, mkOpt(2), seed)
+		b := runFlows(tb, flows, CSMAOn, mkOpt(2), seed)
+		var delivered uint64
+		for i := range a {
+			delivered += a[i].DeliveredPkts
+			if a[i].Mbps != b[i].Mbps || a[i].DeliveredPkts != b[i].DeliveredPkts {
+				t.Fatalf("flow %d differs across identical runs", i)
+			}
+		}
+		if delivered == 0 {
+			t.Fatal("no packets delivered through the sharded traffic path")
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package geo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PartitionStrips assigns each point to one of k spatial shards by
+// slicing the point set into k contiguous strips along the wider axis of
+// its bounding box, balanced by population (each strip holds ⌊n/k⌋ or
+// ⌈n/k⌉ points). Population balance beats geometric balance for a
+// discrete-event engine: work is proportional to nodes, not area, and
+// clustered layouts would otherwise starve most shards.
+//
+// The assignment is a total function of the point slice and k: points
+// are ordered by (strip coordinate, cross coordinate, index), so
+// coincident points — including points exactly on a would-be strip
+// boundary — split deterministically, never ambiguously. Every point
+// lands in exactly one shard; shards may be empty when k exceeds the
+// number of distinct positions worth of population (callers must
+// tolerate empty shards). k <= 0 or k > len(pts) with len(pts) == 0 is
+// a caller bug and panics.
+func PartitionStrips(pts []Point, k int) []int {
+	if k <= 0 {
+		panic(fmt.Sprintf("geo: PartitionStrips with k=%d", k))
+	}
+	n := len(pts)
+	shard := make([]int, n)
+	if n == 0 {
+		return shard
+	}
+	minX, maxX := pts[0].X, pts[0].X
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, p := range pts {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	// Slice across the wider extent so strips stay as square as the
+	// layout allows — shorter shared borders mean fewer boundary nodes.
+	alongX := maxX-minX >= maxY-minY
+	key := func(i int) (float64, float64) {
+		if alongX {
+			return pts[i].X, pts[i].Y
+		}
+		return pts[i].Y, pts[i].X
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		ka, ca := key(ia)
+		kb, cb := key(ib)
+		if ka != kb {
+			return ka < kb
+		}
+		if ca != cb {
+			return ca < cb
+		}
+		return ia < ib
+	})
+	for w := 0; w < k; w++ {
+		for _, i := range order[w*n/k : (w+1)*n/k] {
+			shard[i] = w
+		}
+	}
+	return shard
+}

@@ -1,0 +1,150 @@
+package geo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestPartitionStripsEveryNodeExactlyOnce is the property test from the
+// issue: over random layouts and shard counts, every node lands in
+// exactly one shard, shard ids stay in [0, k), and populations are
+// balanced to within one node.
+func TestPartitionStripsEveryNodeExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x9a27))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		k := 1 + rng.Intn(12)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64() * 100, Y: rng.Float64() * 40}
+		}
+		shard := PartitionStrips(pts, k)
+		if len(shard) != n {
+			t.Fatalf("trial %d: %d assignments for %d points", trial, len(shard), n)
+		}
+		counts := make([]int, k)
+		for i, s := range shard {
+			if s < 0 || s >= k {
+				t.Fatalf("trial %d: point %d assigned shard %d outside [0,%d)", trial, i, s, k)
+			}
+			counts[s]++
+		}
+		total, lo, hi := 0, n, 0
+		for _, c := range counts {
+			total += c
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if total != n {
+			t.Fatalf("trial %d: %d points assigned, want %d", trial, total, n)
+		}
+		if n >= k && hi-lo > 1 {
+			t.Fatalf("trial %d: populations %v not balanced within 1", trial, counts)
+		}
+	}
+}
+
+// TestPartitionStripsBoundaryTies pins the determinism contract for
+// nodes exactly on a strip boundary: coincident points split by index,
+// and repeated calls agree bit-for-bit.
+func TestPartitionStripsBoundaryTies(t *testing.T) {
+	// Eight points stacked on two x-coordinates: with k=2 the strip
+	// boundary falls exactly between populations of identical coords.
+	pts := []Point{
+		{X: 1, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 1, Y: 2},
+		{X: 5, Y: 0}, {X: 5, Y: 1}, {X: 5, Y: 1}, {X: 5, Y: 2},
+	}
+	a := PartitionStrips(pts, 2)
+	b := PartitionStrips(pts, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("repeated call disagrees at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if a[i] != 0 {
+			t.Errorf("left-stack point %d in shard %d, want 0", i, a[i])
+		}
+		if a[4+i] != 1 {
+			t.Errorf("right-stack point %d in shard %d, want 1", 4+i, a[4+i])
+		}
+	}
+
+	// All points coincident: still a valid balanced partition (ties
+	// break by index), never a crash or an out-of-range shard.
+	same := make([]Point, 7)
+	shard := PartitionStrips(same, 3)
+	counts := make([]int, 3)
+	for _, s := range shard {
+		counts[s]++
+	}
+	if counts[0]+counts[1]+counts[2] != 7 {
+		t.Fatalf("coincident points misassigned: %v", counts)
+	}
+}
+
+// TestPartitionStripsMoreShardsThanNodes covers k greater than the
+// occupied cell/node count: trailing shards are empty, leading shards
+// hold one node each, nothing panics.
+func TestPartitionStripsMoreShardsThanNodes(t *testing.T) {
+	pts := []Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 20, Y: 0}}
+	shard := PartitionStrips(pts, 8)
+	seen := map[int]int{}
+	for _, s := range shard {
+		seen[s]++
+	}
+	for s, c := range seen {
+		if c != 1 {
+			t.Errorf("shard %d holds %d nodes, want at most 1 when k > n", s, c)
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("%d occupied shards, want 3", len(seen))
+	}
+}
+
+// TestPartitionStripsEmptyAndDegenerate covers the zero-node layout and
+// the invalid-k panic.
+func TestPartitionStripsEmptyAndDegenerate(t *testing.T) {
+	if got := PartitionStrips(nil, 4); len(got) != 0 {
+		t.Errorf("nil points: got %v, want empty", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 did not panic")
+		}
+	}()
+	PartitionStrips([]Point{{X: 1, Y: 1}}, 0)
+}
+
+// TestPartitionStripsAxisChoice checks the wider-extent axis is the one
+// sliced: a tall thin layout must split along Y.
+func TestPartitionStripsAxisChoice(t *testing.T) {
+	var pts []Point
+	for i := 0; i < 10; i++ {
+		pts = append(pts, Point{X: 0, Y: float64(i) * 10}) // 0..90 tall
+		pts = append(pts, Point{X: 1, Y: float64(i) * 10}) // 1 wide
+	}
+	shard := PartitionStrips(pts, 2)
+	// Split along Y: low-Y half in shard 0 regardless of X.
+	for i, p := range pts {
+		want := 0
+		if p.Y >= 50 {
+			want = 1
+		}
+		if shard[i] != want {
+			t.Fatalf("point %d (%v) in shard %d, want %d (Y split)", i, p, shard[i], want)
+		}
+	}
+}
+
+func ExamplePartitionStrips() {
+	pts := []Point{{X: 0, Y: 0}, {X: 30, Y: 0}, {X: 60, Y: 0}, {X: 90, Y: 0}}
+	fmt.Println(PartitionStrips(pts, 2))
+	// Output: [0 0 1 1]
+}

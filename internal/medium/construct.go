@@ -1,0 +1,122 @@
+package medium
+
+import (
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+
+	"repro/internal/geo"
+	"repro/internal/phy"
+	"repro/internal/radio"
+)
+
+// Delivery is one audible receiver of a node's transmissions: the
+// receiver index and the power it hears, in mW, at the common transmit
+// power. Delivery lists are the medium's ground truth — Transmit fans
+// out over them, the analytic extractor reads them back through GainMW,
+// and the sharded engine partitions them — so they are built in exactly
+// one place, here.
+type Delivery struct {
+	Dst    int
+	GainMW float64
+}
+
+// BuildDeliveries computes, for every node, the receivers that hear it
+// above the delivery floor, in ascending receiver order, with the power
+// each receives. When the model bounds its range the candidate set is
+// enumerated through a spatial grid and the per-node computation fans
+// out across workers goroutines (workers <= 0 means GOMAXPROCS); the
+// output is bit-identical at any worker count because each node's list
+// is an independent pure computation written to a disjoint slot, and
+// every model in internal/radio is a pure function of its arguments
+// (deterministic per-pair shadowing, no internal state), which makes
+// concurrent Loss calls safe. Without a range bound the exhaustive
+// O(n²) reference scan runs serially. The second result reports whether
+// the grid path was taken.
+func BuildDeliveries(params phy.Params, model radio.Model, positions []geo.Point, workers int) ([][]Delivery, bool) {
+	var maxRange float64 = math.Inf(1)
+	if rb, ok := model.(radio.RangeBounder); ok {
+		maxRange = rb.MaxRange(params.TxPowerDBm - params.DeliveryFloorDBm)
+	}
+	if !(maxRange > 0) || math.IsInf(maxRange, 1) || math.IsNaN(maxRange) {
+		return denseDeliveries(params, model, positions), false
+	}
+
+	n := len(positions)
+	lists := make([][]Delivery, n)
+	floorMW := radio.DBmToMW(params.DeliveryFloorDBm)
+	grid := geo.NewGrid(positions, maxRange)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	fill := func(lo, hi int) {
+		buf := make([]int, 0, 64)
+		for a := lo; a < hi; a++ {
+			buf = buf[:0]
+			grid.Within(a, maxRange, func(b int) { buf = append(buf, b) })
+			slices.Sort(buf)
+			if len(buf) == 0 {
+				continue
+			}
+			// Pre-size from the grid candidate count: the kept set is a
+			// subset of the candidates, so one allocation always suffices.
+			list := make([]Delivery, 0, len(buf))
+			for _, b := range buf {
+				loss := model.Loss(a, positions[a], b, positions[b])
+				if g := radio.DBmToMW(params.TxPowerDBm - loss); g >= floorMW {
+					list = append(list, Delivery{Dst: b, GainMW: g})
+				}
+			}
+			if len(list) > 0 {
+				lists[a] = list
+			}
+		}
+	}
+	if workers == 1 {
+		fill(0, n)
+		return lists, true
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fill(lo, hi)
+		}()
+	}
+	wg.Wait()
+	return lists, true
+}
+
+// denseDeliveries is the reference O(n²) construction over every
+// ordered pair. It stays serial and obviously correct; the grid path is
+// proven against it by TestSparseDenseFlowEquivalence and the
+// worker-count equivalence test.
+func denseDeliveries(params phy.Params, model radio.Model, positions []geo.Point) [][]Delivery {
+	n := len(positions)
+	lists := make([][]Delivery, n)
+	floorMW := radio.DBmToMW(params.DeliveryFloorDBm)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			loss := model.Loss(a, positions[a], b, positions[b])
+			if g := radio.DBmToMW(params.TxPowerDBm - loss); g >= floorMW {
+				lists[a] = append(lists[a], Delivery{Dst: b, GainMW: g})
+			}
+		}
+	}
+	return lists
+}

@@ -1,0 +1,81 @@
+package medium
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/phy"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// constructLayout is a kilometre-square layout dense enough that the
+// grid prunes and every worker chunk holds real work.
+func constructLayout(n int) []geo.Point {
+	rng := sim.NewRNG(0xc0175)
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	return pts
+}
+
+// TestBuildDeliveriesWorkerEquivalence pins the parallel-construction
+// contract: the delivery lists are bit-identical at every worker count,
+// including counts far above the node count and the GOMAXPROCS default.
+func TestBuildDeliveriesWorkerEquivalence(t *testing.T) {
+	params := phy.DefaultParams()
+	model := radio.DefaultIndoor5GHz(7)
+	pts := constructLayout(300)
+	ref, refGrid := BuildDeliveries(params, model, pts, 1)
+	if !refGrid {
+		t.Fatal("model should be range-bounded (grid path)")
+	}
+	for _, workers := range []int{0, 2, 3, 4, 8, 1000} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got, grid := BuildDeliveries(params, model, pts, workers)
+			if !grid {
+				t.Fatal("grid path not taken")
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("list count %d, want %d", len(got), len(ref))
+			}
+			for a := range ref {
+				if len(got[a]) != len(ref[a]) {
+					t.Fatalf("node %d: %d deliveries, want %d", a, len(got[a]), len(ref[a]))
+				}
+				for k := range ref[a] {
+					if got[a][k] != ref[a][k] {
+						t.Fatalf("node %d delivery %d: %+v, want %+v (must be bit-identical)",
+							a, k, got[a][k], ref[a][k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBuildDeliveriesMatchesDense proves the grid-pruned parallel
+// construction keeps exactly the pairs the exhaustive reference scan
+// keeps, with identical gains.
+func TestBuildDeliveriesMatchesDense(t *testing.T) {
+	params := phy.DefaultParams()
+	model := radio.DefaultIndoor5GHz(3)
+	pts := constructLayout(150)
+	dense := denseDeliveries(params, model, pts)
+	sparse, grid := BuildDeliveries(params, model, pts, 4)
+	if !grid {
+		t.Fatal("grid path not taken")
+	}
+	for a := range dense {
+		if len(sparse[a]) != len(dense[a]) {
+			t.Fatalf("node %d: sparse %d deliveries, dense %d", a, len(sparse[a]), len(dense[a]))
+		}
+		for k := range dense[a] {
+			if sparse[a][k] != dense[a][k] {
+				t.Fatalf("node %d delivery %d: sparse %+v, dense %+v", a, k, sparse[a][k], dense[a][k])
+			}
+		}
+	}
+}

@@ -3,7 +3,6 @@ package medium
 import (
 	"cmp"
 	"fmt"
-	"math"
 	"slices"
 
 	"repro/internal/frame"
@@ -12,12 +11,6 @@ import (
 	"repro/internal/radio"
 	"repro/internal/sim"
 )
-
-// delivery is one audible receiver of a node's transmissions.
-type delivery struct {
-	dst    int
-	gainMW float64 // received power at dst at the common transmit power
-}
 
 // Medium is the air. It owns one radio per node and dispatches
 // transmissions to every radio that can hear them.
@@ -34,7 +27,7 @@ type Medium struct {
 	// ascending order is load-bearing: Transmit touches receivers in
 	// list order, so list order is part of the deterministic event
 	// sequence that golden traces pin down.
-	deliveries [][]delivery
+	deliveries [][]Delivery
 	floorMW    float64
 	gridBacked bool
 
@@ -51,10 +44,18 @@ type Medium struct {
 // New builds a medium over the given node positions. Each node gets a
 // radio whose decode randomness comes from a stream of rng. Delivery
 // lists are built through a spatial grid whenever the model bounds its
-// range, and by exhaustive pairing otherwise.
+// range (fanned across GOMAXPROCS workers — bit-identical to the serial
+// build, see BuildDeliveries), and by exhaustive pairing otherwise.
 func New(sched *sim.Scheduler, params phy.Params, model radio.Model, positions []geo.Point, rng *sim.RNG) *Medium {
+	return NewWithWorkers(sched, params, model, positions, rng, 0)
+}
+
+// NewWithWorkers is New with an explicit construction worker count
+// (<= 0 means GOMAXPROCS). The built medium is bit-identical at any
+// worker count; the knob exists for benchmarks and equivalence tests.
+func NewWithWorkers(sched *sim.Scheduler, params phy.Params, model radio.Model, positions []geo.Point, rng *sim.RNG, workers int) *Medium {
 	m := newMedium(sched, params, model, positions, rng)
-	m.buildDeliveries(true)
+	m.deliveries, m.gridBacked = BuildDeliveries(params, model, positions, workers)
 	return m
 }
 
@@ -64,7 +65,7 @@ func New(sched *sim.Scheduler, params phy.Params, model radio.Model, positions [
 // bit-identically on either.
 func NewDense(sched *sim.Scheduler, params phy.Params, model radio.Model, positions []geo.Point, rng *sim.RNG) *Medium {
 	m := newMedium(sched, params, model, positions, rng)
-	m.buildDeliveries(false)
+	m.deliveries = denseDeliveries(params, model, positions)
 	return m
 }
 
@@ -88,56 +89,6 @@ func newMedium(sched *sim.Scheduler, params phy.Params, model radio.Model, posit
 func (m *Medium) gain(a, b int) float64 {
 	loss := m.model.Loss(a, m.positions[a], b, m.positions[b])
 	return radio.DBmToMW(m.params.TxPowerDBm - loss)
-}
-
-// buildDeliveries fills the per-node delivery lists. useGrid selects the
-// grid-accelerated candidate enumeration; the fallback (and the NewDense
-// path) scans all ordered pairs. Both keep exactly the pairs whose gain
-// clears the delivery floor, in ascending receiver order.
-func (m *Medium) buildDeliveries(useGrid bool) {
-	n := len(m.positions)
-	m.deliveries = make([][]delivery, n)
-	var maxRange float64 = math.Inf(1)
-	if useGrid {
-		if rb, ok := m.model.(radio.RangeBounder); ok {
-			maxRange = rb.MaxRange(m.params.TxPowerDBm - m.params.DeliveryFloorDBm)
-		}
-	}
-	if useGrid && maxRange > 0 && !math.IsInf(maxRange, 1) && !math.IsNaN(maxRange) {
-		m.gridBacked = true
-		grid := geo.NewGrid(m.positions, maxRange)
-		buf := make([]int, 0, 64)
-		for a := 0; a < n; a++ {
-			buf = buf[:0]
-			grid.Within(a, maxRange, func(b int) { buf = append(buf, b) })
-			slices.Sort(buf)
-			if len(buf) == 0 {
-				continue
-			}
-			// Pre-size from the grid candidate count: the kept set is a
-			// subset of the candidates, so one allocation always suffices.
-			list := make([]delivery, 0, len(buf))
-			for _, b := range buf {
-				if g := m.gain(a, b); g >= m.floorMW {
-					list = append(list, delivery{dst: b, gainMW: g})
-				}
-			}
-			if len(list) > 0 {
-				m.deliveries[a] = list
-			}
-		}
-		return
-	}
-	for a := 0; a < n; a++ {
-		for b := 0; b < n; b++ {
-			if a == b {
-				continue
-			}
-			if g := m.gain(a, b); g >= m.floorMW {
-				m.deliveries[a] = append(m.deliveries[a], delivery{dst: b, gainMW: g})
-			}
-		}
-	}
 }
 
 // NodeCount returns the number of nodes on the medium.
@@ -168,18 +119,18 @@ func (m *Medium) NeighborCount(i int) int { return len(m.deliveries[i]) }
 // receives in mW.
 func (m *Medium) ForEachNeighbor(i int, fn func(dst int, gainMW float64)) {
 	for _, d := range m.deliveries[i] {
-		fn(d.dst, d.gainMW)
+		fn(d.Dst, d.GainMW)
 	}
 }
 
 // lookupGain finds the stored delivery gain from→to, if to is audible.
 func (m *Medium) lookupGain(from, to int) (float64, bool) {
 	list := m.deliveries[from]
-	k, ok := slices.BinarySearchFunc(list, to, func(d delivery, dst int) int {
-		return cmp.Compare(d.dst, dst)
+	k, ok := slices.BinarySearchFunc(list, to, func(d Delivery, dst int) int {
+		return cmp.Compare(d.Dst, dst)
 	})
 	if ok {
-		return list[k].gainMW, true
+		return list[k].GainMW, true
 	}
 	return 0, false
 }
@@ -255,7 +206,7 @@ func (m *Medium) HandleEvent(arg any) {
 // anything a MAC upcall does.
 func (m *Medium) finishTransmission(tx *phy.Transmission) {
 	for _, d := range m.deliveries[tx.From] {
-		m.radios[d.dst].SignalEnd(tx)
+		m.radios[d.Dst].SignalEnd(tx)
 	}
 	tx.Frame = nil // do not retain the MAC's frame past the air interval
 	m.txFree = append(m.txFree, tx)
@@ -285,7 +236,7 @@ func (m *Medium) Transmit(from *phy.Radio, f frame.Frame, r phy.Rate) sim.Time {
 		End:   end,
 	}
 	for _, d := range m.deliveries[src] {
-		m.radios[d.dst].SignalStart(tx, d.gainMW)
+		m.radios[d.Dst].SignalStart(tx, d.GainMW)
 	}
 	// Signal-end fan-out first, then the sender's tx-done: at equal
 	// deadlines, receivers resolve their decodes before the sender's

@@ -1,0 +1,57 @@
+package shard
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+)
+
+// errAborted is the sentinel a barrier spinner panics with when another
+// shard failed; Engine.Run recognises it and re-panics with the real
+// failure instead.
+var errAborted = errors.New("shard: run aborted by a peer shard's panic")
+
+// barrier is a reusable sense-reversing barrier over atomics. Atomics
+// rather than a sync.Cond: the wait is one window (tens of µs of
+// simulated time, typically far less wall-clock), so a short spin that
+// yields the processor between probes beats parking the goroutine —
+// and, unlike a mutex-protected count, it is still correct and visible
+// to the race detector. The spin yields every probe, so the barrier
+// stays live even at GOMAXPROCS=1.
+type barrier struct {
+	n     int32
+	count atomic.Int32
+	gen   atomic.Uint64
+	abort atomic.Bool
+}
+
+// await blocks until all n parties arrive. The last arrival resets the
+// count and advances the generation, releasing the spinners. After an
+// abort every call panics with errAborted so shard goroutines unwind.
+func (b *barrier) await() {
+	if b.abort.Load() {
+		panic(errAborted)
+	}
+	g := b.gen.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.gen.Add(1)
+		return
+	}
+	for b.gen.Load() == g {
+		if b.abort.Load() {
+			panic(errAborted)
+		}
+		runtime.Gosched()
+	}
+	if b.abort.Load() {
+		panic(errAborted)
+	}
+}
+
+// quit aborts the barrier: every current and future await panics with
+// errAborted. The generation bump releases anyone mid-spin.
+func (b *barrier) quit() {
+	b.abort.Store(true)
+	b.gen.Add(1)
+}
