@@ -27,13 +27,26 @@
 #   make bench-guard  compare the two newest checked-in BENCH_*.json and
 #                   fail on >20% ns/op regression in SaturatedSteadyState
 #                   (BENCHDIFF_SKIP=1 accepts a deliberate one)
+#   make checkpoint-conformance  the checkpoint/resume bit-identity
+#                   matrix (every golden scenario × every registered MAC
+#                   arm × shards 1/2/4: resume-at-midpoint must equal an
+#                   uninterrupted run in results and checkpoint bytes)
+#                   plus the envelope damage table and the scheduler
+#                   round-trip unit tier
 #   make cover      coverage profile over every package (coverage.out)
 #                   with hard floors on internal/analytic and internal/mac
 #   make ci         the full gate: vet + race short tier + alloc gate + golden tier
-#                   + conformance + shard conformance + bench guard
-#                   + bench smoke + docs check + fuzz smoke + coverage floor
+#                   + conformance + shard conformance + checkpoint conformance
+#                   + bench guard + bench smoke + docs check + fuzz smoke
+#                   + coverage floor
 
 GO ?= go
+
+# Every go test invocation carries an explicit -timeout so a hung
+# simulation (e.g. a scheduler that stops draining after a bad restore)
+# fails the gate loudly instead of stalling CI until the runner's own
+# cutoff.
+TEST_TIMEOUT ?= 10m
 
 # Coverage floor for the analytic oracle: the cross-validation tier leans
 # on it, so untested solver/extractor branches are a correctness risk.
@@ -44,22 +57,22 @@ ANALYTIC_COVER_FLOOR ?= 85
 # stay exercised.
 MAC_COVER_FLOOR ?= 85
 
-.PHONY: build test test-full race bench check vet golden alloc-check bench-json profile bench-smoke docs-check fuzz-smoke conformance shard-conformance bench-guard cover ci
+.PHONY: build test test-full race bench check vet golden alloc-check bench-json profile bench-smoke docs-check fuzz-smoke conformance shard-conformance checkpoint-conformance bench-guard cover ci
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test -short ./...
+	$(GO) test -timeout $(TEST_TIMEOUT) -short ./...
 
 test-full:
-	$(GO) test ./...
+	$(GO) test -timeout $(TEST_TIMEOUT) ./...
 
 race:
-	$(GO) test -race -short ./internal/runner ./internal/experiments ./internal/core ./internal/sim
+	$(GO) test -timeout $(TEST_TIMEOUT) -race -short ./internal/runner ./internal/experiments ./internal/core ./internal/sim
 
 bench:
-	$(GO) test -run XXX -bench . -benchtime 1x ./...
+	$(GO) test -timeout $(TEST_TIMEOUT) -run XXX -bench . -benchtime 1x ./...
 
 check: build test
 
@@ -67,10 +80,10 @@ vet:
 	$(GO) vet ./...
 
 golden:
-	$(GO) test -run 'TestGolden|TestSparseDense' ./internal/experiments
+	$(GO) test -timeout $(TEST_TIMEOUT) -run 'TestGolden|TestSparseDense' ./internal/experiments
 
 alloc-check:
-	$(GO) test -count=1 -run 'ZeroAllocs' -v ./internal/medium ./internal/traffic
+	$(GO) test -timeout $(TEST_TIMEOUT) -count=1 -run 'ZeroAllocs' -v ./internal/medium ./internal/traffic
 
 bench-json:
 	$(GO) run ./cmd/cmapbench -benchjson
@@ -84,7 +97,7 @@ profile:
 # table construction leaking onto it) without paying for a full
 # benchmark run.
 bench-smoke:
-	$(GO) test -run XXX -bench 'SaturatedSteadyState' -benchtime 1x ./internal/experiments
+	$(GO) test -timeout $(TEST_TIMEOUT) -run XXX -bench 'SaturatedSteadyState' -benchtime 1x ./internal/experiments
 
 # Documentation gate: formatting drift, vet, a package comment on every
 # internal/ package (doc.go), and no dead relative links in the
@@ -99,23 +112,23 @@ docs-check:
 # fuzzer is enough to catch a freshly introduced ordering or expiry bug
 # without turning CI into a fuzzing farm.
 fuzz-smoke:
-	$(GO) test -run='^$$' -fuzz=FuzzScheduler -fuzztime=5s ./internal/sim
-	$(GO) test -run='^$$' -fuzz=FuzzDeferTable -fuzztime=5s ./internal/core
+	$(GO) test -timeout $(TEST_TIMEOUT) -run='^$$' -fuzz=FuzzScheduler -fuzztime=5s ./internal/sim
+	$(GO) test -timeout $(TEST_TIMEOUT) -run='^$$' -fuzz=FuzzDeferTable -fuzztime=5s ./internal/core
 
 # The shared MAC conformance suite under the race detector: every
 # registered arm's allocation (skipped under race), determinism,
 # worker-equivalence and backlog-conservation contracts, plus the
 # registry round-trip and topology sanity bounds.
 conformance:
-	$(GO) test -race -count=1 ./internal/mac/conformance
+	$(GO) test -timeout $(TEST_TIMEOUT) -race -count=1 ./internal/mac/conformance
 
 # The sharded engine's conformance matrix under the race detector:
 # shards=1 bit-identical to the serial engine (the golden guarantee),
 # determinism at fixed shard counts, figure-level equivalence at 2 and
 # 4 shards, plus the same contracts through experiments.Options.Shards.
 shard-conformance:
-	$(GO) test -race -count=1 -run 'TestShard|TestPartition|TestEngine' ./internal/shard ./internal/geo
-	$(GO) test -race -count=1 -run 'TestSharded' ./internal/experiments
+	$(GO) test -timeout $(TEST_TIMEOUT) -race -count=1 -run 'TestShard|TestPartition|TestEngine' ./internal/shard ./internal/geo
+	$(GO) test -timeout $(TEST_TIMEOUT) -race -count=1 -run 'TestSharded' ./internal/experiments
 
 # Bench regression guard: the two most recently committed BENCH_*.json
 # are diffed; >20% ns/op growth in SaturatedSteadyState fails the gate.
@@ -123,27 +136,40 @@ shard-conformance:
 bench-guard:
 	$(GO) run ./cmd/benchdiff -auto
 
+# Checkpoint/resume bit-identity: FlowSim must reproduce the batch
+# runners exactly, and checkpoint-at-midpoint-then-resume must match an
+# uninterrupted run in both FlowResults (IEEE-754 bit patterns) and
+# end-of-run checkpoint bytes, across every golden scenario × every
+# registered MAC arm × shards 1/2/4. The second line is the envelope
+# damage table (truncation/corruption/version/config typed errors) and
+# the scheduler/RNG round-trip unit tier.
+checkpoint-conformance:
+	$(GO) test -timeout $(TEST_TIMEOUT) -count=1 -run 'TestFlowSimMatchesRunFlows|TestCheckpointResumeBitIdentical|TestCheckpointConfigHashGuard' ./internal/experiments
+	$(GO) test -timeout $(TEST_TIMEOUT) -count=1 ./internal/checkpoint
+	$(GO) test -timeout $(TEST_TIMEOUT) -count=1 -run 'TestScheduler|TestRNGState' ./internal/sim
+
 # Coverage profile over the whole module plus hard floors on the
 # analytic oracle (its numbers gate the cross-validation tier) and the
 # MAC arm registry (every experiment resolves protocols through it).
 cover:
-	$(GO) test -short -coverprofile=coverage.out ./...
+	$(GO) test -timeout $(TEST_TIMEOUT) -short -coverprofile=coverage.out ./...
 	@$(GO) tool cover -func=coverage.out | tail -1
-	@pct=$$($(GO) test -cover ./internal/analytic | grep -o '[0-9.]*%' | tr -d '%'); \
+	@pct=$$($(GO) test -timeout $(TEST_TIMEOUT) -cover ./internal/analytic | grep -o '[0-9.]*%' | tr -d '%'); \
 	echo "internal/analytic coverage: $$pct% (floor $(ANALYTIC_COVER_FLOOR)%)"; \
 	awk "BEGIN{exit !($$pct >= $(ANALYTIC_COVER_FLOOR))}" || \
 		{ echo "internal/analytic coverage $$pct% below floor $(ANALYTIC_COVER_FLOOR)%"; exit 1; }
-	@pct=$$($(GO) test -cover ./internal/mac | grep -o '[0-9.]*%' | tr -d '%'); \
+	@pct=$$($(GO) test -timeout $(TEST_TIMEOUT) -cover ./internal/mac | grep -o '[0-9.]*%' | tr -d '%'); \
 	echo "internal/mac coverage: $$pct% (floor $(MAC_COVER_FLOOR)%)"; \
 	awk "BEGIN{exit !($$pct >= $(MAC_COVER_FLOOR))}" || \
 		{ echo "internal/mac coverage $$pct% below floor $(MAC_COVER_FLOOR)%"; exit 1; }
 
 ci: build vet
-	$(GO) test -race -short ./...
+	$(GO) test -timeout $(TEST_TIMEOUT) -race -short ./...
 	$(MAKE) alloc-check
 	$(MAKE) golden
 	$(MAKE) conformance
 	$(MAKE) shard-conformance
+	$(MAKE) checkpoint-conformance
 	$(MAKE) bench-guard
 	$(MAKE) bench-smoke
 	$(MAKE) docs-check

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// autoPair's contract: with fewer than two BENCH_*.json files the gate
+// reports nothing-to-compare (ok=false) instead of failing, and with
+// two or more it yields a deterministic (old, new) ordering. The test
+// directories are not git repositories, so every file counts as
+// uncommitted (newest) and the tie breaks on path name — the ordering
+// the doc comment promises.
+
+func writeBench(t *testing.T, name string) {
+	t.Helper()
+	if err := os.WriteFile(name, []byte(`{"commit":"x","benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoPairFewerThanTwoFiles(t *testing.T) {
+	t.Chdir(t.TempDir())
+	if _, _, ok := autoPair(); ok {
+		t.Fatal("empty dir: autoPair reported a pair")
+	}
+	writeBench(t, "BENCH_aaaa.json")
+	if _, _, ok := autoPair(); ok {
+		t.Fatal("one file: autoPair reported a pair")
+	}
+}
+
+func TestAutoPairOrdering(t *testing.T) {
+	t.Chdir(t.TempDir())
+	writeBench(t, "BENCH_cccc.json")
+	writeBench(t, "BENCH_aaaa.json")
+	writeBench(t, "BENCH_bbbb.json")
+	oldPath, newPath, ok := autoPair()
+	if !ok {
+		t.Fatal("three files: autoPair found nothing")
+	}
+	// All uncommitted → newest-last by path; the two newest are b and c.
+	if oldPath != "BENCH_bbbb.json" || newPath != "BENCH_cccc.json" {
+		t.Fatalf("pair = (%s, %s), want (BENCH_bbbb.json, BENCH_cccc.json)", oldPath, newPath)
+	}
+}
+
+func TestLoadRejectsBadJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/BENCH_bad.json"
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(path); err == nil {
+		t.Fatal("load of invalid JSON succeeded")
+	}
+	if _, err := load(dir + "/missing.json"); err == nil {
+		t.Fatal("load of missing file succeeded")
+	}
+}

@@ -57,6 +57,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"os/exec"
@@ -68,6 +69,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/experiments"
 	"repro/internal/mac"
 	"repro/internal/phy"
@@ -112,6 +114,7 @@ func main() {
 	analyticVerify := flag.Bool("analytic-verify", false, "with -analytic: also simulate the full grid and report agreement and speedup")
 	benchJSON := flag.Bool("benchjson", false, "run the scaling benchmarks, write BENCH_<git-short-sha>.json, and exit")
 	shards := flag.Int("shards", 0, "run every figure's simulations on the sharded engine with N shards (<=1 = serial)")
+	resumeDir := flag.String("resume", "", "campaign directory: record section and load-sweep-point completion there and resume a killed run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
@@ -242,6 +245,15 @@ func main() {
 		return
 	}
 
+	if *resumeDir != "" {
+		c, err := checkpoint.OpenCampaign(*resumeDir, checkpoint.ConfigHash(campaignCfg(opt, loads)))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+			os.Exit(1)
+		}
+		camp = c
+	}
+
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {
@@ -254,6 +266,11 @@ func main() {
 	fmt.Printf("seed=%d scale=%s duration=%v pairs=%d workers=%d\n\n",
 		*seed, *scale, time.Duration(opt.Duration), opt.Pairs,
 		runner.Config{Workers: opt.Workers}.EffectiveWorkers())
+	if camp != nil {
+		if n := len(camp.Keys()); n > 0 {
+			fmt.Fprintf(os.Stderr, "campaign %s: %d recorded points, finished work replays from the manifest\n", camp.Dir(), n)
+		}
+	}
 
 	tb := topo.NewTestbed(opt.Nodes, opt.Seed)
 
@@ -389,13 +406,94 @@ func main() {
 
 	if sel("loadsweep") {
 		step("Load sweep — goodput/latency vs offered load (beyond the paper)", func() {
+			// Under -resume the sweep additionally records every
+			// (topology × arm × load × pair) trial in the campaign
+			// manifest as it completes, so a kill mid-sweep loses at most
+			// one trial rather than the whole figure.
 			for _, class := range []string{"exposed", "hidden"} {
-				fmt.Print(experiments.OfferedLoad(tb, class, loads, opt).Format())
+				sweep, err := experiments.OfferedLoadCampaign(tb, class, loads, opt, camp)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "loadsweep: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Print(sweep.Format())
 			}
 			fmt.Println("(expected: goodput tracks load below saturation; past the knee CMAP" +
 				" out-delivers carrier sense on exposed pairs and matches it on hidden ones)")
 		})
 	}
+}
+
+// camp is the open campaign of a -resume run (nil otherwise). Sections
+// record their rendered output under "section/<title>" when they
+// finish; a resumed run replays recorded sections from the manifest and
+// re-runs only the rest.
+var camp *checkpoint.Campaign
+
+// campaignConfig is the subset of the configuration that determines
+// results — what the campaign's config hash covers. Workers and
+// Progress are deliberately absent (results are bit-identical at every
+// worker count), and the -only selection is absent too: completion is
+// recorded per section, so a resumed run may narrow or widen the
+// selection.
+type campaignConfig struct {
+	Seed                           uint64
+	Nodes                          int
+	Duration, Warmup               sim.Time
+	Pairs, Triples, APRuns, Meshes int
+	Rate                           phy.RateID
+	Traffic                        traffic.Spec
+	Arms                           []experiments.Protocol
+	Shards                         int
+	Loads                          []float64
+}
+
+func campaignCfg(opt experiments.Options, loads []float64) campaignConfig {
+	return campaignConfig{
+		Seed:     opt.Seed,
+		Nodes:    opt.Nodes,
+		Duration: opt.Duration,
+		Warmup:   opt.Warmup,
+		Pairs:    opt.Pairs,
+		Triples:  opt.Triples,
+		APRuns:   opt.APRuns,
+		Meshes:   opt.Meshes,
+		Rate:     opt.Rate,
+		Traffic:  opt.Traffic,
+		Arms:     opt.Arms,
+		Shards:   opt.Shards,
+		Loads:    loads,
+	}
+}
+
+// captureStdout runs fn with os.Stdout teed into a buffer and returns
+// what it printed (also forwarding it to the real stdout), so a
+// finished section's rendering can be recorded verbatim in the
+// campaign manifest.
+func captureStdout(fn func()) string {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		fn() // uncachable, but the run itself must not die for it
+		return ""
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	func() {
+		defer func() {
+			os.Stdout = old
+			w.Close()
+		}()
+		fn()
+	}()
+	out := <-done
+	r.Close()
+	fmt.Print(out)
+	return out
 }
 
 // runAnalyticScreen is the -analytic mode: evaluate the standard
@@ -466,9 +564,32 @@ func runAnalyticScreen(opt experiments.Options, loads []float64, verify bool) er
 	return nil
 }
 
+// step runs one benchmark section. Under -resume, a section that
+// already finished in a prior run replays its recorded text from the
+// campaign manifest instead of re-simulating, and a section that
+// completes now is recorded for the next restart. The loadsweep section
+// is additionally resumable at trial granularity inside the section.
 func step(title string, fn func()) {
 	fmt.Printf("== %s ==\n", title)
 	t0 := time.Now()
+	if camp != nil {
+		key := "section/" + title
+		if raw, ok := camp.Done(key); ok {
+			var text string
+			if err := json.Unmarshal(raw, &text); err == nil {
+				fmt.Print(text)
+				fmt.Printf("[cached]\n\n")
+				return
+			}
+		}
+		text := captureStdout(fn)
+		if err := camp.Complete(key, text); err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%.1fs]\n\n", time.Since(t0).Seconds())
+		return
+	}
 	fn()
 	fmt.Printf("[%.1fs]\n\n", time.Since(t0).Seconds())
 }

@@ -62,11 +62,11 @@ import (
 	"repro/internal/analytic"
 	"repro/internal/core"
 	"repro/internal/csma"
+	"repro/internal/experiments"
 	"repro/internal/mac"
 	"repro/internal/medium"
 	"repro/internal/phy"
 	"repro/internal/runner"
-	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
@@ -271,76 +271,44 @@ func resolveArm(name string) (mac.Arm, error) {
 	return mac.Lookup(name)
 }
 
-// runTrialArm is runTrial for registry arms: the same scenario replay,
-// but the stations are built through the internal/mac registry by name,
-// so every registered arm — RTS/CTS, the cs@<dBm> family, and anything
-// registered later — gets the microscope without a bespoke case. The
-// detail report sticks to the arm-independent surface (goodput and MAC
-// drops); the legacy -protocol path keeps its protocol-specific
-// counters.
-func runTrialArm(tb *topo.Testbed, pair topo.LinkPair, armName string, spec traffic.Spec, d sim.Time, seed uint64, shards int, detail bool) trialResult {
-	arm := mac.MustLookup(armName)
-	rng := sim.NewRNG(seed)
-	var net simNet
-	if shards > 1 {
-		// The sharded engine: flow endpoints co-shard, the channel stream
-		// and per-node streams match the serial wiring below, so -shards 1
-		// and the serial path print identical numbers.
-		net = shard.NewEngine(tb.Params, tb.Model, tb.Pos, rng.Stream(1), shard.Config{
-			Shards: shards,
-			Flows:  [][2]int{{pair.A.Src, pair.A.Dst}, {pair.B.Src, pair.B.Dst}},
-		})
-	} else {
-		sched := sim.NewScheduler()
-		net = serialNet{m: tb.Build(sched, rng.Stream(1)), sched: sched}
-	}
-	warm := d * 2 / 5
-	meters := [2]*stats.Meter{
-		{Start: warm, End: d},
-		{Start: warm, End: d},
-	}
+// trialFlowSim builds the registry-arm microscope as a held-open
+// experiments.FlowSim: the Trial wiring reproduces the historical
+// per-flow RNG stream labels (100+i / 200+i stations, 300+i sources),
+// so the numbers match the pre-FlowSim microscope bit-exactly — and
+// the simulation can be checkpointed and resumed mid-run.
+func trialFlowSim(tb *topo.Testbed, pair topo.LinkPair, armName string, spec traffic.Spec, d sim.Time, seed uint64, shards int) (*experiments.FlowSim, error) {
+	return experiments.NewFlowSim(tb, experiments.FlowSimConfig{
+		Arm:      experiments.Protocol(armName),
+		Flows:    []topo.Link{pair.A, pair.B},
+		Duration: d,
+		Warmup:   d * 2 / 5,
+		Rate:     phy.Rate6Mbps,
+		Traffic:  spec,
+		Shards:   shards,
+		Trial:    true,
+		Seed:     seed,
+	})
+}
+
+// reportTrialArm extracts the per-flow outcome (and prints the detail
+// report) from a finished registry-arm simulation.
+func reportTrialArm(fs *experiments.FlowSim, pair topo.LinkPair, detail bool) trialResult {
 	flows := [2]topo.Link{pair.A, pair.B}
 	res := trialResult{}
-	var sources [2]*traffic.Source
-	var senders [2]mac.Node
-	for i, f := range flows {
-		tx := arm.New(f.Src, net.Network(f.Src), rng.Stream(uint64(100+i)), mac.Options{Rate: phy.Rate6Mbps})
-		rx := arm.New(f.Dst, net.Network(f.Dst), rng.Stream(uint64(200+i)), mac.Options{Rate: phy.Rate6Mbps})
-		rx.SetMeter(meters[i])
-		senders[i] = tx
-		if spec.Kind == traffic.Saturated {
-			tx.SetSaturated(f.Dst)
-			continue
-		}
-		res.lats[i] = &stats.Latency{W: stats.Window{Start: warm, End: d}}
-		src := traffic.NewSource(net.SchedulerOf(f.Src), rng.Stream(uint64(300+i)), spec, tx, f.Dst)
-		src.EnableLatency(tx.LatencyWindow())
-		sources[i] = src
-		lat := res.lats[i]
-		fsrc := f.Src
-		rx.SetOnDeliver(func(from int, seq uint32, now sim.Time) {
-			if from != fsrc {
-				return
-			}
-			if at, ok := src.ArrivalTime(seq); ok {
-				lat.Record(now, now-at)
-			}
-		})
-		src.Start()
-	}
-	net.Run(d)
 	if detail {
 		for i, f := range flows {
 			fmt.Printf("flow %d→%d: %.2f Mb/s  macDropped=%d\n",
-				f.Src, f.Dst, meters[i].Mbps(), senders[i].MacDropped())
+				f.Src, f.Dst, fs.Meter(i).Mbps(), fs.Sender(i).MacDropped())
 		}
 	}
-	res.flows = [2]float64{meters[0].Mbps(), meters[1].Mbps()}
+	res.flows = [2]float64{fs.Meter(0).Mbps(), fs.Meter(1).Mbps()}
 	res.agg = res.flows[0] + res.flows[1]
-	for i, src := range sources {
+	for i := range flows {
+		src := fs.Source(i)
 		if src == nil {
 			continue
 		}
+		res.lats[i] = fs.Lat(i)
 		st := src.Stats()
 		res.drops += st.Dropped
 		if detail {
@@ -350,6 +318,64 @@ func runTrialArm(tb *topo.Testbed, pair topo.LinkPair, armName string, spec traf
 		}
 	}
 	return res
+}
+
+// runTrialArm is runTrial for registry arms: the same scenario replay,
+// but the stations are built through the internal/mac registry by name,
+// so every registered arm — RTS/CTS, the cs@<dBm> family, and anything
+// registered later — gets the microscope without a bespoke case. The
+// detail report sticks to the arm-independent surface (goodput and MAC
+// drops); the legacy -protocol path keeps its protocol-specific
+// counters.
+func runTrialArm(tb *topo.Testbed, pair topo.LinkPair, armName string, spec traffic.Spec, d sim.Time, seed uint64, shards int, detail bool) trialResult {
+	fs, err := trialFlowSim(tb, pair, armName, spec, d, seed, shards)
+	if err != nil {
+		panic(err) // arm names are validated at the CLI boundary
+	}
+	fs.Run(d)
+	return reportTrialArm(fs, pair, detail)
+}
+
+// runTrialArmCheckpointed is the crash-tolerant single-trial path:
+// -checkpoint writes the complete simulation state to a file every
+// -checkpoint-every of virtual time (atomically, so a kill -9 leaves at
+// worst the previous checkpoint), and -resume rebuilds the skeleton
+// from the identical flags and continues from the file — bit-identical
+// to a run that was never interrupted. Progress notes go to stderr so
+// stdout stays comparable between interrupted and uninterrupted runs.
+func runTrialArmCheckpointed(tb *topo.Testbed, pair topo.LinkPair, armName string, spec traffic.Spec, d sim.Time, seed uint64, shards int, ckptPath string, every sim.Time, resumePath string) trialResult {
+	fs, err := trialFlowSim(tb, pair, armName, spec, d, seed, shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if resumePath != "" {
+		if err := fs.ResumeFile(resumePath); err != nil {
+			fmt.Fprintf(os.Stderr, "resume: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "resumed %s at t=%v\n", resumePath, time.Duration(fs.Now()))
+	}
+	if ckptPath == "" || every <= 0 {
+		fs.Run(d)
+	} else {
+		for fs.Now() < d {
+			// Multi-shard engines checkpoint only at window edges; align
+			// each cut up to the next legal instant.
+			next := fs.AlignCheckpoint(fs.Now() + every)
+			if next >= d {
+				fs.Run(d)
+				break
+			}
+			fs.Run(next)
+			if err := fs.SaveFile(ckptPath); err != nil {
+				fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "checkpoint: %s at t=%v\n", ckptPath, time.Duration(next))
+		}
+	}
+	return reportTrialArm(fs, pair, true)
 }
 
 // buildTestbed realises the chosen layout and, for the generated
@@ -419,6 +445,9 @@ func main() {
 	churn := flag.Duration("churn", 0, "mean session up/down duration for flow churn (0 = no churn)")
 	predict := flag.Bool("predict", false, "also print the analytic oracle's saturated per-flow prediction")
 	shards := flag.Int("shards", 0, "partition the simulation across N shard goroutines (registry -arm path only; <=1 = serial)")
+	ckptPath := flag.String("checkpoint", "", "write the full simulation state to this file every -checkpoint-every of virtual time (registry -arm single-trial path)")
+	ckptEvery := flag.Duration("checkpoint-every", 5*time.Second, "virtual-time interval between auto-checkpoints")
+	resumePath := flag.String("resume", "", "resume a single-trial -arm run from a checkpoint file written under identical flags")
 	flag.Parse()
 
 	if *armFlag == "list" {
@@ -525,6 +554,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-shards needs the registry path: pass -arm (e.g. -arm cmap)")
 		os.Exit(2)
 	}
+	if *ckptPath != "" || *resumePath != "" {
+		if *armFlag == "" {
+			fmt.Fprintln(os.Stderr, "-checkpoint/-resume need the registry path: pass -arm (e.g. -arm cmap)")
+			os.Exit(2)
+		}
+		if *trials > 1 {
+			fmt.Fprintln(os.Stderr, "-checkpoint/-resume apply to the single-trial microscope, not -trials replications")
+			os.Exit(2)
+		}
+	}
 
 	// trial dispatches one replay: through the registry for -arm, through
 	// the protocol-specific microscope for the legacy -protocol names.
@@ -537,7 +576,14 @@ func main() {
 	if *trials <= 1 {
 		// The original single-run microscope: channel randomness comes
 		// from the same master-seed stream as the topology sampling.
-		res := trial(rng.Uint64(), true, *traceN)
+		trialSeed := rng.Uint64()
+		var res trialResult
+		if *ckptPath != "" || *resumePath != "" {
+			res = runTrialArmCheckpointed(tb, pair, *armFlag, spec, sim.Duration(*duration),
+				trialSeed, *shards, *ckptPath, sim.Duration(*ckptEvery), *resumePath)
+		} else {
+			res = trial(trialSeed, true, *traceN)
+		}
 		fmt.Printf("aggregate: %.2f Mb/s\n", res.agg)
 		return
 	}

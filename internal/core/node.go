@@ -384,6 +384,8 @@ func (n *Node) HandleEvent(arg any) {
 		n.vpktFinExpired(v)
 	case *ackAttempt:
 		n.runAckAttempt(v)
+	case *listSend:
+		n.sendListWithRetries(v.list, v.budget)
 	}
 }
 
@@ -452,7 +454,15 @@ func (n *Node) maybeRelayList(l *frame.InterfererList, now sim.Time) {
 		Entries: append([]frame.InterferenceEntry(nil), l.Entries...),
 	}
 	n.stat.ListsRelayed++
-	n.sched.After(n.turnaroundDelay(), func() { n.sendListWithRetries(copyList, 8) })
+	n.sched.PostAfter(n.turnaroundDelay(), n, &listSend{list: copyList, budget: 8})
+}
+
+// listSend carries a pending interferer-list transmission (a two-hop
+// relay or a radio-busy retry) through the agenda as a typed argument,
+// keeping the agenda closure-free for checkpointing.
+type listSend struct {
+	list   *frame.InterfererList
+	budget int
 }
 
 // OnCorrupt implements phy.Handler. CMAP infers collisions from sequence

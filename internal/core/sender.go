@@ -411,13 +411,15 @@ func (n *Node) broadcastTick() {
 }
 
 // sendListWithRetries transmits the interferer list as soon as the radio
-// is free, giving up after the retry budget.
+// is free, giving up after the retry budget. The retry is a typed
+// *listSend event rather than a closure so an agenda holding one stays
+// checkpointable.
 func (n *Node) sendListWithRetries(list *frame.InterfererList, budget int) {
 	if budget <= 0 {
 		return
 	}
 	if n.radio.Transmitting() || n.cur != nil {
-		n.sched.After(2*sim.Millisecond, func() { n.sendListWithRetries(list, budget-1) })
+		n.sched.PostAfter(2*sim.Millisecond, n, &listSend{list: list, budget: budget - 1})
 		return
 	}
 	n.stat.ListsSent++

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// The checkpoint conformance tier: checkpoint-at-T-then-resume must be
+// bit-identical to an uninterrupted run — same FlowResults through
+// their IEEE-754 bit patterns, and the same checkpoint bytes when both
+// runs are captured again at the end (which audits every serialized
+// field of every component, not just the measured outputs). The matrix
+// covers every golden scenario × every registered MAC arm × shard
+// counts {1, 2, 4}, exactly the space the golden traces pin.
+
+// conformanceArms is every runnable registered arm: the fixed names
+// plus one cs@<dBm> family member.
+func conformanceArms() []Protocol {
+	var arms []Protocol
+	for _, name := range mac.Names() {
+		if strings.Contains(name, "<") {
+			continue // family syntax hint, not a runnable name
+		}
+		arms = append(arms, Protocol(name))
+	}
+	arms = append(arms, CSAt(-82))
+	return arms
+}
+
+// conformanceOptions is a reduced scale: the matrix is about state
+// fidelity, not figure values, so runs are short. Scenario topologies
+// still come from the golden pickers over the golden testbed.
+func conformanceOptions(seed uint64) Options {
+	return Options{
+		Seed:     seed,
+		Nodes:    50,
+		Duration: 800 * sim.Millisecond,
+		Warmup:   400 * sim.Millisecond,
+		Rate:     phy.Rate6Mbps,
+	}
+}
+
+func flowSimConfig(tp string, flows []topo.Link, opt Options, shards int, spec traffic.Spec, runSeed uint64) FlowSimConfig {
+	return FlowSimConfig{
+		Arm:      Protocol(tp),
+		Flows:    flows,
+		Duration: opt.Duration,
+		Warmup:   opt.Warmup,
+		Rate:     opt.Rate,
+		Traffic:  spec,
+		Shards:   shards,
+		Seed:     runSeed,
+	}
+}
+
+// requireSameResults compares two result sets bit-exactly, including
+// the latency recorders' full sample sequences.
+func requireSameResults(t *testing.T, label string, a, b []FlowResult) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d flows", label, len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Link != y.Link {
+			t.Fatalf("%s flow %d: link %v vs %v", label, i, x.Link, y.Link)
+		}
+		if math.Float64bits(x.Mbps) != math.Float64bits(y.Mbps) {
+			t.Errorf("%s flow %d: Mbps %v (%016x) vs %v (%016x)",
+				label, i, x.Mbps, math.Float64bits(x.Mbps), y.Mbps, math.Float64bits(y.Mbps))
+		}
+		if x.VpktsSent != y.VpktsSent || x.VpktsHeader != y.VpktsHeader || x.VpktsHdrOrTrail != y.VpktsHdrOrTrail {
+			t.Errorf("%s flow %d: visibility (%d,%d,%d) vs (%d,%d,%d)", label, i,
+				x.VpktsSent, x.VpktsHeader, x.VpktsHdrOrTrail, y.VpktsSent, y.VpktsHeader, y.VpktsHdrOrTrail)
+		}
+		if x.OfferedPkts != y.OfferedPkts || x.AcceptedPkts != y.AcceptedPkts ||
+			x.DroppedPkts != y.DroppedPkts || x.DeliveredPkts != y.DeliveredPkts {
+			t.Errorf("%s flow %d: arrivals (%d,%d,%d,%d) vs (%d,%d,%d,%d)", label, i,
+				x.OfferedPkts, x.AcceptedPkts, x.DroppedPkts, x.DeliveredPkts,
+				y.OfferedPkts, y.AcceptedPkts, y.DroppedPkts, y.DeliveredPkts)
+		}
+		switch {
+		case (x.Lat == nil) != (y.Lat == nil):
+			t.Errorf("%s flow %d: one side has a latency recorder, the other not", label, i)
+		case x.Lat != nil:
+			if !reflect.DeepEqual(x.Lat.State(), y.Lat.State()) {
+				t.Errorf("%s flow %d: latency recorders diverge", label, i)
+			}
+		}
+	}
+}
+
+// TestFlowSimMatchesRunFlows proves the held-open harness reproduces
+// the batch runners bit-exactly — the property that lets the golden
+// tier keep pinning runFlows while checkpointing runs through FlowSim.
+func TestFlowSimMatchesRunFlows(t *testing.T) {
+	const seed = 1
+	opt := conformanceOptions(seed)
+	tb := topo.NewTestbed(opt.Nodes, seed)
+	specs := []struct {
+		name string
+		spec traffic.Spec
+	}{
+		{"saturated", traffic.Saturate()},
+		{"poisson", traffic.PoissonAt(300)},
+	}
+	for _, tp := range goldenTopologies(tb, seed) {
+		for _, arm := range []Protocol{CSMAOn, CMAP, RTSCTS} {
+			for _, shards := range []int{1, 4} {
+				for _, sp := range specs {
+					o := opt
+					o.Shards = shards
+					o.Traffic = sp.spec
+					runSeed := seed + arm.seedSalt()*104729
+					want := runFlows(tb, tp.flows, arm, o, runSeed)
+					fs, err := NewFlowSim(tb, flowSimConfig(string(arm), tp.flows, opt, shards, sp.spec, runSeed))
+					if err != nil {
+						t.Fatal(err)
+					}
+					fs.Run(opt.Duration)
+					label := tp.name + "/" + string(arm) + "/" + sp.name
+					requireSameResults(t, label, want, fs.Results())
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointResumeBitIdentical is the conformance matrix: run A
+// straight through; run B to a midpoint, checkpoint, rebuild a fresh
+// skeleton, resume, finish. Results and end-of-run checkpoint bytes
+// must match exactly.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	const seed = 1
+	opt := conformanceOptions(seed)
+	tb := topo.NewTestbed(opt.Nodes, seed)
+	arms := conformanceArms()
+	shardCounts := []int{1, 2, 4}
+	if testing.Short() {
+		arms = []Protocol{CSMAOn, CMAP}
+		shardCounts = []int{1, 2}
+	}
+	for _, tp := range goldenTopologies(tb, seed) {
+		for _, arm := range arms {
+			for _, shards := range shardCounts {
+				tp, arm, shards := tp, arm, shards
+				name := tp.name + "/" + string(arm) + "/shards" + string(rune('0'+shards))
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					runSeed := seed + arm.seedSalt()*104729
+					cfg := flowSimConfig(string(arm), tp.flows, opt, shards, traffic.Saturate(), runSeed)
+					checkpointResumeCase(t, tb, cfg, opt.Duration)
+				})
+			}
+		}
+	}
+	// Traffic-mode spot checks: sources, latency recorders and churn
+	// timers must survive the cut too.
+	spec := traffic.PoissonAt(300)
+	spec.UpMean, spec.DownMean = 120*sim.Millisecond, 120*sim.Millisecond
+	for _, shards := range shardCounts {
+		shards := shards
+		name := "exposed/traffic-churn/shards" + string(rune('0'+shards))
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			tp := goldenTopologies(tb, seed)[0]
+			cfg := flowSimConfig(string(CMAP), tp.flows, opt, shards, spec, seed+12345)
+			checkpointResumeCase(t, tb, cfg, opt.Duration)
+		})
+	}
+}
+
+func checkpointResumeCase(t *testing.T, tb *topo.Testbed, cfg FlowSimConfig, d sim.Time) {
+	t.Helper()
+	// A multi-shard engine cuts only at window edges; align both the
+	// midpoint and the endpoint so A and B run to identical clocks.
+	mk := func() *FlowSim {
+		fs, err := NewFlowSim(tb, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+	a := mk()
+	t1 := a.AlignCheckpoint(d / 2)
+	t2 := a.AlignCheckpoint(d)
+
+	a.Run(t2)
+	resA := a.Results()
+	var endA bytes.Buffer
+	if err := a.Save(&endA); err != nil {
+		t.Fatalf("save A at end: %v", err)
+	}
+
+	b1 := mk()
+	b1.Run(t1)
+	var cut bytes.Buffer
+	if err := b1.Save(&cut); err != nil {
+		t.Fatalf("save B at t=%v: %v", t1, err)
+	}
+	b2 := mk()
+	if err := b2.Resume(bytes.NewReader(cut.Bytes())); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if b2.Now() != t1 {
+		t.Fatalf("resumed clock %v, want %v", b2.Now(), t1)
+	}
+	b2.Run(t2)
+	resB := b2.Results()
+	var endB bytes.Buffer
+	if err := b2.Save(&endB); err != nil {
+		t.Fatalf("save B at end: %v", err)
+	}
+
+	requireSameResults(t, "A vs resumed B", resA, resB)
+	if !bytes.Equal(endA.Bytes(), endB.Bytes()) {
+		t.Errorf("end-of-run checkpoints differ (%d vs %d bytes): some component state diverged after resume",
+			endA.Len(), endB.Len())
+	}
+}
+
+// TestCheckpointConfigHashGuard: resuming under a different
+// configuration must fail with the typed error, before any state is
+// touched.
+func TestCheckpointConfigHashGuard(t *testing.T) {
+	const seed = 1
+	opt := conformanceOptions(seed)
+	tb := topo.NewTestbed(opt.Nodes, seed)
+	tp := goldenTopologies(tb, seed)[0]
+	cfg := flowSimConfig(string(CMAP), tp.flows, opt, 1, traffic.Saturate(), 42)
+	fs, err := NewFlowSim(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Run(opt.Duration / 4)
+	var buf bytes.Buffer
+	if err := fs.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Seed = 43
+	fs2, err := NewFlowSim(tb, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.Resume(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("resume under a different config succeeded; want ErrConfigMismatch")
+	}
+}

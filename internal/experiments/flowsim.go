@@ -1,0 +1,577 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/checkpoint"
+	"repro/internal/geo"
+	"repro/internal/mac"
+	"repro/internal/medium"
+	"repro/internal/phy"
+	"repro/internal/shard"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// FlowSim is one flow experiment held open: the same construction as
+// runFlows / runTrafficFlows / runShardedFlows (identical RNG streams,
+// identical event posting order, so an uninterrupted FlowSim reproduces
+// those functions bit-exactly), but with every component reference
+// retained so the simulation can be stopped at any virtual time, its
+// complete state captured through Save, and a fresh process's skeleton
+// overwritten back to that exact state through Resume. The batch runner
+// functions stay untouched — they are the golden-trace path — and the
+// conformance tests prove FlowSim tracks them.
+//
+// Checkpointing works by "rebuild skeleton, restore mutable state": the
+// resuming process constructs a FlowSim from the same configuration
+// (whatever that construction schedules or draws is discarded by the
+// wholesale restore), then Resume overwrites the agenda, the radio and
+// MAC state, the sources, and every recorder. A configuration hash
+// stored in the checkpoint guards against resuming under a skeleton
+// that differs.
+type FlowSim struct {
+	cfg       FlowSimConfig
+	hash      string
+	saturated bool
+
+	// Exactly one engine is set: the serial scheduler+medium pair, or
+	// the sharded engine (cfg.Shards > 1).
+	sched *sim.Scheduler
+	m     *medium.Medium
+	eng   *shard.Engine
+
+	senders   []mac.Node
+	receivers []mac.Node
+	order     []int // distinct node ids in construction order
+	nodes     map[int]mac.Node
+	meters    []*stats.Meter
+	lats      []*stats.Latency
+	sources   []*traffic.Source
+
+	owners map[sim.EventHandler]ownerRef
+	byKey  map[string]ownerRef
+}
+
+// ownerRef names one event-owning component for the agenda codec.
+type ownerRef struct {
+	key     string
+	handler sim.EventHandler
+	node    mac.Node        // set for MAC owners
+	src     *traffic.Source // set for source owners
+}
+
+// FlowSimConfig fixes one run. Every field participates in the
+// configuration hash, so a checkpoint only resumes into a skeleton
+// built from an identical value (over an identical testbed).
+type FlowSimConfig struct {
+	// Arm is the MAC registry arm name.
+	Arm Protocol
+	// Flows are the sender→receiver pairs under test.
+	Flows []topo.Link
+	// Duration and Warmup mirror Options; Rate is the data bit-rate.
+	Duration, Warmup sim.Time
+	Rate             phy.RateID
+	// Traffic selects the workload; the zero value is saturated.
+	Traffic traffic.Spec
+	// Shards > 1 runs the spatially sharded engine.
+	Shards int
+	// Trial selects the cmapsim microscope's RNG stream labels (per-flow
+	// 100+i / 200+i for the stations, 300+i for the sources) instead of
+	// the experiment harness's per-node 1000+id and per-flow 5000+i. The
+	// two wirings are behaviourally identical; the labels differ for
+	// historical reasons and both are pinned by golden output.
+	Trial bool
+	// Seed is the run seed (runFlows' runSeed).
+	Seed uint64
+}
+
+// flowSimHash is the hashed-configuration shape: FlowSimConfig plus the
+// testbed identity (size, positions, channel parameters). The radio
+// model is structural per scenario and covered by the positions/params.
+type flowSimHash struct {
+	Cfg    FlowSimConfig
+	Nodes  int
+	Pos    []geo.Point
+	Params phy.Params
+}
+
+// flowSimState is the checkpoint payload: engine state (serial or
+// sharded), then per-component states keyed or ordered exactly as the
+// construction orders them.
+type flowSimState struct {
+	Sched   *sim.SchedulerState        `json:"sched,omitempty"`
+	Medium  *medium.State              `json:"medium,omitempty"`
+	Radios  []phy.RadioState           `json:"radios,omitempty"`
+	Engine  *shard.EngineState         `json:"engine,omitempty"`
+	Macs    map[string]json.RawMessage `json:"macs"`
+	Sources []json.RawMessage          `json:"sources,omitempty"`
+	Meters  []stats.MeterState         `json:"meters"`
+	Lats    []stats.LatencyState       `json:"lats,omitempty"`
+}
+
+// NewFlowSim builds the simulation. The construction sequence — stream
+// derivations, node creation order, event posts — replicates the batch
+// runners exactly, which is what makes both the fresh run and the
+// resume skeleton bit-faithful.
+func NewFlowSim(tb *topo.Testbed, cfg FlowSimConfig) (*FlowSim, error) {
+	arm, err := mac.Lookup(string(cfg.Arm))
+	if err != nil {
+		return nil, err
+	}
+	fs := &FlowSim{
+		cfg:       cfg,
+		hash:      checkpoint.ConfigHash(flowSimHash{Cfg: cfg, Nodes: tb.N, Pos: tb.Pos, Params: tb.Params}),
+		saturated: cfg.Traffic.Kind == traffic.Saturated,
+		nodes:     map[int]mac.Node{},
+		owners:    map[sim.EventHandler]ownerRef{},
+		byKey:     map[string]ownerRef{},
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	if cfg.Shards > 1 {
+		pairs := make([][2]int, len(cfg.Flows))
+		for i, f := range cfg.Flows {
+			pairs[i] = [2]int{f.Src, f.Dst}
+		}
+		fs.eng = shard.NewEngine(tb.Params, tb.Model, tb.Pos, rng.Stream(1), shard.Config{
+			Shards: cfg.Shards,
+			Flows:  pairs,
+		})
+	} else {
+		fs.sched = sim.NewScheduler()
+		fs.m = tb.Build(fs.sched, rng.Stream(1))
+		fs.addOwner(ownerRef{key: "medium", handler: fs.m})
+	}
+	network := func(id int) mac.Network {
+		if fs.eng != nil {
+			return fs.eng.Network(id)
+		}
+		return fs.m
+	}
+	schedOf := func(id int) *sim.Scheduler {
+		if fs.eng != nil {
+			return fs.eng.SchedulerOf(id)
+		}
+		return fs.sched
+	}
+
+	n := len(cfg.Flows)
+	fs.senders = make([]mac.Node, n)
+	fs.receivers = make([]mac.Node, n)
+	fs.meters = make([]*stats.Meter, n)
+	if !fs.saturated {
+		fs.lats = make([]*stats.Latency, n)
+		fs.sources = make([]*traffic.Source, n)
+	}
+	window := stats.Window{Start: cfg.Warmup, End: cfg.Duration}
+
+	mkShared := func(id int) mac.Node {
+		if nd, ok := fs.nodes[id]; ok {
+			return nd
+		}
+		nd := arm.New(id, network(id), rng.Stream(uint64(1000+id)), mac.Options{Rate: cfg.Rate})
+		fs.registerNode(id, nd)
+		return nd
+	}
+	mkTrial := func(id int, stream uint64) (mac.Node, error) {
+		if _, ok := fs.nodes[id]; ok {
+			return nil, fmt.Errorf("experiments: node %d appears in two flows; the trial wiring builds one station per endpoint", id)
+		}
+		nd := arm.New(id, network(id), rng.Stream(stream), mac.Options{Rate: cfg.Rate})
+		fs.registerNode(id, nd)
+		return nd, nil
+	}
+
+	for i, f := range cfg.Flows {
+		if cfg.Trial {
+			tx, err := mkTrial(f.Src, uint64(100+i))
+			if err != nil {
+				return nil, err
+			}
+			rx, err := mkTrial(f.Dst, uint64(200+i))
+			if err != nil {
+				return nil, err
+			}
+			fs.senders[i], fs.receivers[i] = tx, rx
+		} else {
+			fs.senders[i] = mkShared(f.Src)
+			fs.receivers[i] = mkShared(f.Dst)
+		}
+		fs.meters[i] = &stats.Meter{Start: cfg.Warmup, End: cfg.Duration}
+		fs.receivers[i].SetMeter(fs.meters[i])
+		if fs.saturated {
+			fs.senders[i].SetSaturated(f.Dst)
+			continue
+		}
+		fs.lats[i] = &stats.Latency{W: window}
+		fs.receivers[i].SetOnDeliver(fs.deliver(i, f.Src))
+		srcStream := uint64(5000 + i)
+		if cfg.Trial {
+			srcStream = uint64(300 + i)
+		}
+		src := traffic.NewSource(schedOf(f.Src), rng.Stream(srcStream), cfg.Traffic, fs.senders[i], f.Dst)
+		src.EnableLatency(fs.senders[i].LatencyWindow())
+		fs.sources[i] = src
+		fs.addOwner(ownerRef{key: "src:" + strconv.Itoa(i), handler: src, src: src})
+		src.Start()
+	}
+	return fs, nil
+}
+
+// deliver wires flow i's non-duplicate deliveries back to arrival times
+// — the same closure every batch runner builds.
+func (fs *FlowSim) deliver(i, wantSrc int) mac.DeliverFunc {
+	return func(src int, seq uint32, now sim.Time) {
+		if src != wantSrc {
+			return
+		}
+		if at, ok := fs.sources[i].ArrivalTime(seq); ok {
+			fs.lats[i].Record(now, now-at)
+		}
+	}
+}
+
+func (fs *FlowSim) registerNode(id int, nd mac.Node) {
+	fs.nodes[id] = nd
+	fs.order = append(fs.order, id)
+	if h, ok := nd.(sim.EventHandler); ok {
+		fs.addOwner(ownerRef{key: "mac:" + strconv.Itoa(id), handler: h, node: nd})
+	}
+}
+
+func (fs *FlowSim) addOwner(ref ownerRef) {
+	fs.owners[ref.handler] = ref
+	fs.byKey[ref.key] = ref
+}
+
+// Run advances the simulation to the given virtual time. Repeated calls
+// resume where the last one stopped.
+func (fs *FlowSim) Run(until sim.Time) {
+	if fs.eng != nil {
+		fs.eng.Run(until)
+		return
+	}
+	fs.sched.Run(until)
+}
+
+// Now returns the simulation clock.
+func (fs *FlowSim) Now() sim.Time {
+	if fs.eng != nil {
+		return fs.eng.Now()
+	}
+	return fs.sched.Now()
+}
+
+// Window returns the sharded engine's synchronization window, or zero
+// for a serial simulation. A multi-shard simulation can only checkpoint
+// at multiples of this window (see AlignCheckpoint).
+func (fs *FlowSim) Window() sim.Time {
+	if fs.eng != nil && fs.eng.Shards() > 1 {
+		return fs.eng.Window()
+	}
+	return 0
+}
+
+// AlignCheckpoint rounds t up to the nearest legal checkpoint instant:
+// any time for a serial simulation, the next window edge for a
+// multi-shard one.
+func (fs *FlowSim) AlignCheckpoint(t sim.Time) sim.Time {
+	w := fs.Window()
+	if w <= 0 || t%w == 0 {
+		return t
+	}
+	return (t/w + 1) * w
+}
+
+// ConfigHash returns the configuration fingerprint stamped into every
+// checkpoint this simulation saves.
+func (fs *FlowSim) ConfigHash() string { return fs.hash }
+
+// Sender returns flow i's sending station; Meter, Source and Lat return
+// the flow's recorders (Source and Lat are nil under saturated load).
+func (fs *FlowSim) Sender(i int) mac.Node    { return fs.senders[i] }
+func (fs *FlowSim) Meter(i int) *stats.Meter { return fs.meters[i] }
+
+func (fs *FlowSim) Source(i int) *traffic.Source {
+	if fs.sources == nil {
+		return nil
+	}
+	return fs.sources[i]
+}
+
+func (fs *FlowSim) Lat(i int) *stats.Latency {
+	if fs.lats == nil {
+		return nil
+	}
+	return fs.lats[i]
+}
+
+// Results extracts per-flow outcomes exactly as the batch runners do.
+func (fs *FlowSim) Results() []FlowResult {
+	results := make([]FlowResult, len(fs.cfg.Flows))
+	for i, f := range fs.cfg.Flows {
+		results[i] = FlowResult{Link: f, Mbps: fs.meters[i].Mbps()}
+		if !fs.saturated {
+			st := fs.sources[i].Stats()
+			results[i].OfferedPkts = st.Offered
+			results[i].AcceptedPkts = st.Accepted
+			results[i].DroppedPkts = st.Dropped
+			results[i].DeliveredPkts = fs.meters[i].Packets()
+			results[i].Lat = fs.lats[i]
+		}
+		if sv, ok := fs.senders[i].(mac.Visibility); ok {
+			_, hdr, hot := fs.receivers[i].(mac.Visibility).FlowCounters(f.Src)
+			results[i].VpktsSent = sv.VpktsSent()
+			results[i].VpktsHeader = hdr
+			results[i].VpktsHdrOrTrail = hot
+		}
+	}
+	return results
+}
+
+// checkpointer returns the node's checkpoint surface or a typed error —
+// an arm registered without one can run but not checkpoint.
+func nodeCheckpointer(id int, nd mac.Node) (mac.Checkpointer, error) {
+	ck, ok := nd.(mac.Checkpointer)
+	if !ok {
+		return nil, fmt.Errorf("experiments: arm node %d (%T) does not implement mac.Checkpointer; this arm cannot checkpoint", id, nd)
+	}
+	return ck, nil
+}
+
+// encode translates one agenda event to (owner key, encoded arg) — the
+// sim.EncodeFunc for this simulation's component set.
+func (fs *FlowSim) encode(target sim.EventHandler, arg any) (string, json.RawMessage, error) {
+	ref, ok := fs.owners[target]
+	if !ok {
+		return "", nil, fmt.Errorf("experiments: agenda event owned by unknown handler %T", target)
+	}
+	switch {
+	case ref.node != nil:
+		ck, err := nodeCheckpointer(ref.node.ID(), ref.node)
+		if err != nil {
+			return "", nil, err
+		}
+		enc, err := ck.EncodeEventArg(arg)
+		return ref.key, enc, err
+	case ref.src != nil:
+		enc, err := ref.src.EncodeEventArg(arg)
+		return ref.key, enc, err
+	default: // the serial medium
+		enc, err := fs.m.EncodeEventArg(arg)
+		return ref.key, enc, err
+	}
+}
+
+// decode inverts encode against the reconstructed skeleton. txs is the
+// serial transmission registry the medium's fan-out events materialise
+// into; the sharded engine keeps per-shard registries internally and
+// never routes the "medium" key here.
+func (fs *FlowSim) decode(txs map[uint64]*phy.Transmission) sim.DecodeFunc {
+	return func(owner string, enc json.RawMessage) (sim.EventHandler, any, error) {
+		ref, ok := fs.byKey[owner]
+		if !ok {
+			return nil, nil, fmt.Errorf("experiments: checkpoint event has unknown owner %q", owner)
+		}
+		switch {
+		case ref.node != nil:
+			ck, err := nodeCheckpointer(ref.node.ID(), ref.node)
+			if err != nil {
+				return nil, nil, err
+			}
+			arg, err := ck.DecodeEventArg(enc)
+			return ref.handler, arg, err
+		case ref.src != nil:
+			arg, err := ref.src.DecodeEventArg(enc)
+			return ref.handler, arg, err
+		default:
+			arg, err := fs.m.DecodeEventArg(enc, txs)
+			return ref.handler, arg, err
+		}
+	}
+}
+
+// exportState captures the complete simulation.
+func (fs *FlowSim) exportState() (*flowSimState, error) {
+	st := &flowSimState{
+		Macs:   map[string]json.RawMessage{},
+		Meters: make([]stats.MeterState, len(fs.meters)),
+	}
+	if fs.eng != nil {
+		es, err := fs.eng.ExportState(fs.encode)
+		if err != nil {
+			return nil, err
+		}
+		st.Engine = &es
+	} else {
+		ss, err := fs.sched.ExportState(fs.encode)
+		if err != nil {
+			return nil, err
+		}
+		st.Sched = &ss
+		ms := fs.m.ExportState()
+		st.Medium = &ms
+		st.Radios = make([]phy.RadioState, fs.m.NodeCount())
+		for i := 0; i < fs.m.NodeCount(); i++ {
+			rs, err := fs.m.Radio(i).ExportState()
+			if err != nil {
+				return nil, err
+			}
+			st.Radios[i] = rs
+		}
+	}
+	for _, id := range fs.order {
+		ck, err := nodeCheckpointer(id, fs.nodes[id])
+		if err != nil {
+			return nil, err
+		}
+		enc, err := ck.ExportState()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: node %d: %w", id, err)
+		}
+		st.Macs[strconv.Itoa(id)] = enc
+	}
+	for _, src := range fs.sources {
+		enc, err := src.ExportState()
+		if err != nil {
+			return nil, err
+		}
+		st.Sources = append(st.Sources, enc)
+	}
+	for i, m := range fs.meters {
+		st.Meters[i] = m.State()
+	}
+	for _, l := range fs.lats {
+		st.Lats = append(st.Lats, l.State())
+	}
+	return st, nil
+}
+
+// restoreState overwrites the skeleton with a captured state, in
+// dependency order: the agenda first (decoding materialises the
+// in-flight transmission set and the receive-flow objects), then the
+// channel and radios resolved against it, then every component's
+// mutable state (MAC restores re-point their timers against the
+// restored slot generations).
+func (fs *FlowSim) restoreState(st *flowSimState) error {
+	if fs.eng != nil {
+		if st.Engine == nil {
+			return fmt.Errorf("experiments: checkpoint holds a serial simulation, this skeleton is sharded")
+		}
+		if err := fs.eng.RestoreState(*st.Engine, fs.decode(nil)); err != nil {
+			return err
+		}
+	} else {
+		if st.Sched == nil || st.Medium == nil {
+			return fmt.Errorf("experiments: checkpoint holds a sharded simulation, this skeleton is serial")
+		}
+		txs := map[uint64]*phy.Transmission{}
+		if err := fs.sched.RestoreState(*st.Sched, fs.decode(txs)); err != nil {
+			return err
+		}
+		fs.m.RestoreState(*st.Medium)
+		if len(st.Radios) != fs.m.NodeCount() {
+			return fmt.Errorf("experiments: checkpoint has %d radios, testbed has %d", len(st.Radios), fs.m.NodeCount())
+		}
+		for i, rs := range st.Radios {
+			err := fs.m.Radio(i).RestoreState(rs, func(txID uint64) (*phy.Transmission, error) {
+				tx, ok := txs[txID]
+				if !ok {
+					return nil, fmt.Errorf("experiments: radio %d references transmission %d with no agenda event", i, txID)
+				}
+				return tx, nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	for _, id := range fs.order {
+		enc, ok := st.Macs[strconv.Itoa(id)]
+		if !ok {
+			return fmt.Errorf("experiments: checkpoint has no state for node %d", id)
+		}
+		ck, err := nodeCheckpointer(id, fs.nodes[id])
+		if err != nil {
+			return err
+		}
+		if err := ck.RestoreState(enc); err != nil {
+			return fmt.Errorf("experiments: node %d: %w", id, err)
+		}
+	}
+	if len(st.Sources) != len(fs.sources) {
+		return fmt.Errorf("experiments: checkpoint has %d sources, skeleton %d", len(st.Sources), len(fs.sources))
+	}
+	for i, enc := range st.Sources {
+		if err := fs.sources[i].RestoreState(enc); err != nil {
+			return fmt.Errorf("experiments: source %d: %w", i, err)
+		}
+	}
+	if len(st.Meters) != len(fs.meters) {
+		return fmt.Errorf("experiments: checkpoint has %d meters, skeleton %d", len(st.Meters), len(fs.meters))
+	}
+	for i, ms := range st.Meters {
+		fs.meters[i].Restore(ms)
+	}
+	if len(st.Lats) != len(fs.lats) {
+		return fmt.Errorf("experiments: checkpoint has %d latency recorders, skeleton %d", len(st.Lats), len(fs.lats))
+	}
+	for i, ls := range st.Lats {
+		fs.lats[i].Restore(ls)
+	}
+	return nil
+}
+
+// Save writes a checkpoint of the complete in-flight simulation. A
+// multi-shard simulation must be at a window edge (AlignCheckpoint);
+// the engine rejects any other cut.
+func (fs *FlowSim) Save(w io.Writer) error {
+	st, err := fs.exportState()
+	if err != nil {
+		return err
+	}
+	return checkpoint.Save(w, fs.hash, st)
+}
+
+// SaveFile writes a checkpoint atomically to path.
+func (fs *FlowSim) SaveFile(path string) error {
+	st, err := fs.exportState()
+	if err != nil {
+		return err
+	}
+	return checkpoint.SaveFile(path, fs.hash, st)
+}
+
+// Resume overwrites this freshly constructed skeleton with the state in
+// r. The checkpoint must carry this simulation's configuration hash;
+// see internal/checkpoint for the typed error contract. On any error
+// the simulation must be discarded — a partial restore is not a state.
+func (fs *FlowSim) Resume(r io.Reader) error {
+	payload, err := checkpoint.Load(r, fs.hash)
+	if err != nil {
+		return err
+	}
+	var st flowSimState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return fmt.Errorf("%w: payload: %v", checkpoint.ErrCorrupt, err)
+	}
+	return fs.restoreState(&st)
+}
+
+// ResumeFile reads a checkpoint from path into this skeleton.
+func (fs *FlowSim) ResumeFile(path string) error {
+	payload, err := checkpoint.LoadFile(path, fs.hash)
+	if err != nil {
+		return err
+	}
+	var st flowSimState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return fmt.Errorf("%w: payload: %v", checkpoint.ErrCorrupt, err)
+	}
+	return fs.restoreState(&st)
+}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/checkpoint"
 	"repro/internal/mac"
-	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
@@ -140,6 +140,16 @@ type LoadSweep struct {
 // Trials fan out across the worker pool like every other experiment,
 // bit-identical at any worker count.
 func OfferedLoad(tb *topo.Testbed, topology string, loads []float64, opt Options) *LoadSweep {
+	// A nil campaign cannot fail: every error path in offeredLoad is
+	// manifest I/O.
+	sweep, _ := offeredLoad(tb, topology, loads, opt, nil)
+	return sweep
+}
+
+// offeredLoad is the sweep body, optionally recording (and replaying)
+// per-trial results through a campaign manifest — see
+// OfferedLoadCampaign.
+func offeredLoad(tb *topo.Testbed, topology string, loads []float64, opt Options, camp *checkpoint.Campaign) (*LoadSweep, error) {
 	kind := opt.Traffic.Kind
 	if kind == traffic.Saturated {
 		kind = traffic.Poisson
@@ -165,14 +175,19 @@ func OfferedLoad(tb *topo.Testbed, topology string, loads []float64, opt Options
 		arm    Protocol
 	}
 	var keys []trialKey
+	var pointKeys []string
 	for li := range loads {
 		for pi := range pairs {
 			for _, arm := range arms {
 				keys = append(keys, trialKey{li: li, pi: pi, arm: arm})
+				pointKeys = append(pointKeys,
+					fmt.Sprintf("loadsweep/%s/%s/load%g/pair%d", topology, arm, loads[li], pi))
 			}
 		}
 	}
-	trials := runner.Map(opt.pool(), len(keys), func(t int) []FlowResult {
+	// Each trial's seed is a pure function of its key, so the campaign
+	// can skip completed trials without perturbing the rest.
+	trials, err := resumableMap(camp, opt.pool(), pointKeys, func(t int) []FlowResult {
 		k := keys[t]
 		o := opt
 		o.Traffic.Kind = kind
@@ -183,6 +198,9 @@ func OfferedLoad(tb *topo.Testbed, topology string, loads []float64, opt Options
 		seed := opt.Seed + uint64(k.li)*15485863 + uint64(k.pi)*7919 + k.arm.seedSalt()*104729
 		return runFlows(tb, flows, k.arm, o, seed)
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, load := range loads {
 		pt := LoadPoint{
 			PerFlowMbps: load,
@@ -212,7 +230,7 @@ func OfferedLoad(tb *topo.Testbed, topology string, loads []float64, opt Options
 		pt.Aggregate[k.arm].Add(aggregate(rs))
 		pt.Fairness[k.arm].Add(stats.Jain(mbps))
 	}
-	return sweep
+	return sweep, nil
 }
 
 // MedianAggregate returns the median aggregate goodput at point i.

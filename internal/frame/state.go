@@ -1,0 +1,68 @@
+package frame
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Checkpoint codec: a lossless JSON encoding of every frame kind, used
+// when an in-flight frame must survive a checkpoint/resume cycle
+// bit-exactly. The wire codec (Marshal/Unmarshal) is NOT suitable for
+// that — it quantises Ack.LossRate to 1/65535 on the air, which is
+// faithful physics but would make a resumed simulation diverge from the
+// uninterrupted one. JSON round-trips float64 exactly.
+
+// stateEnvelope tags the concrete frame type so UnmarshalState can pick
+// the right struct back out.
+type stateEnvelope struct {
+	Kind Kind            `json:"kind"`
+	Body json.RawMessage `json:"body"`
+}
+
+// MarshalState encodes f losslessly for a checkpoint.
+func MarshalState(f Frame) (json.RawMessage, error) {
+	if f == nil {
+		return nil, fmt.Errorf("frame: cannot checkpoint a nil frame")
+	}
+	body, err := json.Marshal(f)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(stateEnvelope{Kind: f.Kind(), Body: body})
+}
+
+// UnmarshalState decodes a frame written by MarshalState. The result is
+// a freshly allocated frame with field-identical content; pointer
+// identity is not preserved (no component in this codebase compares
+// frames by pointer).
+func UnmarshalState(b json.RawMessage) (Frame, error) {
+	var env stateEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, fmt.Errorf("frame: bad state envelope: %w", err)
+	}
+	var f Frame
+	switch env.Kind {
+	case KindHeader, KindTrailer:
+		f = &Control{}
+	case KindData:
+		f = &Data{}
+	case KindAck:
+		f = &Ack{}
+	case KindInterfererList:
+		f = &InterfererList{}
+	case KindDot11Data:
+		f = &Dot11Data{}
+	case KindDot11Ack:
+		f = &Dot11Ack{}
+	case KindDot11RTS:
+		f = &Dot11RTS{}
+	case KindDot11CTS:
+		f = &Dot11CTS{}
+	default:
+		return nil, fmt.Errorf("frame: state envelope names unknown kind %d", env.Kind)
+	}
+	if err := json.Unmarshal(env.Body, f); err != nil {
+		return nil, fmt.Errorf("frame: bad %v state body: %w", env.Kind, err)
+	}
+	return f, nil
+}

@@ -1,6 +1,7 @@
 package mac
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -71,6 +72,27 @@ type Node interface {
 	// limit); the backlog-conservation invariant is
 	// accepted = delivered + MacDropped + Backlog once the node drains.
 	MacDropped() uint64
+}
+
+// Checkpointer is the checkpoint surface of a MAC station. Every arm
+// this repository registers implements it (the checkpoint conformance
+// matrix in CI runs every registered arm through a save/resume cycle);
+// it is a separate interface rather than part of Node so an
+// experimental arm can still register before growing checkpoint
+// support — it then fails checkpointing with a typed error instead of
+// failing registration.
+//
+// ExportState/RestoreState carry the station's full mutable state
+// (sequence counters, backoff countdowns, windows, timers via
+// sim.TimerState, RNG stream) in a format the station owns.
+// EncodeEventArg/DecodeEventArg translate the arguments of agenda
+// events targeted at this station, so the scheduler checkpoint can
+// round-trip them without knowing MAC-internal types.
+type Checkpointer interface {
+	ExportState() (json.RawMessage, error)
+	RestoreState(enc json.RawMessage) error
+	EncodeEventArg(arg any) (json.RawMessage, error)
+	DecodeEventArg(enc json.RawMessage) (any, error)
 }
 
 // Visibility is the optional per-flow visibility-counter surface that

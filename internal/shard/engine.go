@@ -254,7 +254,8 @@ func (e *Engine) Run(until sim.Time) {
 			defer func() {
 				if r := recover(); r != nil {
 					if r != errAborted {
-						r = fmt.Sprintf("shard %d: %v\n%s", sh.idx, r, debug.Stack())
+						r = fmt.Sprintf("shard %d (window %d, t=%v): %v\n%s",
+							sh.idx, sh.curWin, sh.sched.Now(), r, debug.Stack())
 					}
 					e.fail(r)
 				}

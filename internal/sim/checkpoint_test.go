@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// The scheduler checkpoint round-trip: export mid-run, restore into a
+// fresh scheduler whose skeleton posted different events, and the
+// restored agenda must pop in exactly the captured order with the same
+// sequence numbers, and outstanding timers must keep working against
+// the restored slot table.
+
+// recHandler records every event it handles, tagged with the clock.
+type recHandler struct {
+	name string
+	log  *[]string
+	s    *Scheduler
+}
+
+func (h *recHandler) HandleEvent(arg any) {
+	*h.log = append(*h.log, fmt.Sprintf("%s:%v@%d", h.name, arg, h.s.Now()))
+}
+
+// codec encodes the test handlers: owner is the handler name, the
+// argument is an int.
+func codec(byName map[string]*recHandler) (EncodeFunc, DecodeFunc) {
+	enc := func(target EventHandler, arg any) (string, json.RawMessage, error) {
+		h, ok := target.(*recHandler)
+		if !ok {
+			return "", nil, fmt.Errorf("unknown handler %T", target)
+		}
+		raw, err := json.Marshal(arg.(int))
+		return h.name, raw, err
+	}
+	dec := func(owner string, encoded json.RawMessage) (EventHandler, any, error) {
+		h, ok := byName[owner]
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown owner %q", owner)
+		}
+		var v int
+		if err := json.Unmarshal(encoded, &v); err != nil {
+			return nil, nil, err
+		}
+		return h, v, nil
+	}
+	return enc, dec
+}
+
+func newRec(s *Scheduler, log *[]string, names ...string) map[string]*recHandler {
+	byName := map[string]*recHandler{}
+	for _, n := range names {
+		byName[n] = &recHandler{name: n, log: log, s: s}
+	}
+	return byName
+}
+
+func TestSchedulerExportRestoreRoundTrip(t *testing.T) {
+	var logA []string
+	a := NewScheduler()
+	ha := newRec(a, &logA, "x", "y")
+	encA, _ := codec(ha)
+
+	// Interleave plain posts and slot-backed timer posts, run partway so
+	// the clock, fired counter and seq counters are all non-trivial.
+	for i := 0; i < 8; i++ {
+		a.Post(Time(10*(i+1)), ha["x"], i)
+	}
+	tm := a.AtHandler(Time(95), ha["y"], 100)
+	a.ResetAt(tm, Time(55), ha["y"], 101) // same slot, bumped gen
+	stopped := a.AtHandler(Time(42), ha["y"], 200)
+	stopped.Stop() // frees a slot → FreeSlots must round-trip
+	a.Run(Time(30))
+
+	st, err := a.ExportState(encA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmSt := tm.State()
+	preLen := len(logA) // events A already fired before the cut
+
+	// The restore target has its own junk agenda that must vanish.
+	var logB []string
+	b := NewScheduler()
+	hb := newRec(b, &logB, "x", "y")
+	_, decB := codec(hb)
+	b.Post(Time(5), hb["x"], 999)
+	b.AfterHandler(Time(7), hb["y"], 998)
+
+	if err := b.RestoreState(st, decB); err != nil {
+		t.Fatal(err)
+	}
+	var tm2 Timer
+	b.RestoreTimer(&tm2, tmSt)
+
+	if b.Now() != a.Now() {
+		t.Fatalf("clock %v vs %v", b.Now(), a.Now())
+	}
+	if b.Pending() != a.Pending() {
+		t.Fatalf("pending %d vs %d", b.Pending(), a.Pending())
+	}
+	if b.Fired() != a.Fired() {
+		t.Fatalf("fired %d vs %d", b.Fired(), a.Fired())
+	}
+	if !tm2.Active() || tm2.When() != Time(55) {
+		t.Fatalf("restored timer: active=%v when=%v, want active at 55", tm2.Active(), tm2.When())
+	}
+
+	a.RunAll()
+	b.RunAll()
+	if !reflect.DeepEqual(logA[preLen:], logB) {
+		t.Fatalf("pop order diverged:\n a: %v\n b: %v", logA[preLen:], logB)
+	}
+	if b.Fired() != a.Fired() {
+		t.Fatalf("final fired %d vs %d", b.Fired(), a.Fired())
+	}
+}
+
+// TestSchedulerRestoreTimerStop: a restored timer handle must still
+// cancel its event (slot generations line up after restore).
+func TestSchedulerRestoreTimerStop(t *testing.T) {
+	var log []string
+	a := NewScheduler()
+	ha := newRec(a, &log, "x")
+	enc, _ := codec(ha)
+	tm := a.AtHandler(Time(50), ha["x"], 1)
+	st, err := a.ExportState(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmSt := tm.State()
+
+	b := NewScheduler()
+	hb := newRec(b, &log, "x")
+	_, dec := codec(hb)
+	if err := b.RestoreState(st, dec); err != nil {
+		t.Fatal(err)
+	}
+	var tm2 Timer
+	b.RestoreTimer(&tm2, tmSt)
+	if !tm2.Stop() {
+		t.Fatal("restored timer failed to cancel its event")
+	}
+	b.RunAll()
+	if len(log) != 0 {
+		t.Fatalf("cancelled event fired anyway: %v", log)
+	}
+}
+
+// TestSchedulerExportClosureEvent: closure events (At/After) are not
+// checkpointable and must fail the export with a clear error rather
+// than a corrupt checkpoint.
+func TestSchedulerExportClosureEvent(t *testing.T) {
+	s := NewScheduler()
+	s.At(Time(10), func() {})
+	enc := func(EventHandler, any) (string, json.RawMessage, error) { return "", nil, nil }
+	if _, err := s.ExportState(enc); err == nil {
+		t.Fatal("export of a closure event succeeded; want error")
+	}
+}
+
+// TestSchedulerStateJSONStable: the exported state must survive a JSON
+// round-trip bit-exactly — the envelope stores it as JSON.
+func TestSchedulerStateJSONStable(t *testing.T) {
+	var log []string
+	a := NewScheduler()
+	ha := newRec(a, &log, "x")
+	enc, dec := codec(ha)
+	for i := 0; i < 5; i++ {
+		a.Post(Time(7*(i+1)), ha["x"], i)
+	}
+	a.Run(Time(10))
+	st, err := a.ExportState(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st2 SchedulerState
+	if err := json.Unmarshal(data, &st2); err != nil {
+		t.Fatal(err)
+	}
+	b := NewScheduler()
+	if err := b.RestoreState(st2, dec); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := b.ExportState(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, st3) {
+		t.Fatal("state diverged across JSON round-trip")
+	}
+}
+
+// TestRNGStateRoundTrip: SetState(State()) continues the stream exactly.
+func TestRNGStateRoundTrip(t *testing.T) {
+	r := NewRNG(12345)
+	for i := 0; i < 10; i++ {
+		r.Uint64()
+	}
+	saved := r.State()
+	var want []uint64
+	for i := 0; i < 10; i++ {
+		want = append(want, r.Uint64())
+	}
+	r2 := NewRNG(1)
+	r2.SetState(saved)
+	for i, w := range want {
+		if g := r2.Uint64(); g != w {
+			t.Fatalf("draw %d: %s vs %s", i, strconv.FormatUint(g, 16), strconv.FormatUint(w, 16))
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Checkpoint surface of an arrival source. The spec, queue binding and
+// derived rate parameters are structural (the resumer rebuilds the
+// source through NewSource with the same spec); the state below is the
+// process position: phase flags, the three timers, the arrival-time
+// ring and the RNG stream. The ring is captured in full — delivered
+// packets look their arrival times up long after acceptance, so its
+// stale slots are still live data.
+
+// SourceState is a Source in checkpoint form.
+type SourceState struct {
+	On      bool           `json:"on,omitempty"`
+	Up      bool           `json:"up,omitempty"`
+	Started bool           `json:"started,omitempty"`
+	Arrival sim.TimerState `json:"arrival,omitempty"`
+	Phase   sim.TimerState `json:"phase,omitempty"`
+	Churn   sim.TimerState `json:"churn,omitempty"`
+	Times   []sim.Time     `json:"times,omitempty"`
+	Mask    uint32         `json:"mask,omitempty"`
+	Stat    Stats          `json:"stat"`
+	RNG     uint64         `json:"rng"`
+}
+
+// ExportState captures the source's mutable state.
+func (s *Source) ExportState() (json.RawMessage, error) {
+	st := SourceState{
+		On:      s.on,
+		Up:      s.up,
+		Started: s.started,
+		Arrival: s.arrivalTimer.State(),
+		Phase:   s.phaseTimer.State(),
+		Churn:   s.churnTimer.State(),
+		Times:   s.times,
+		Mask:    s.mask,
+		Stat:    s.stat,
+		RNG:     s.rng.State(),
+	}
+	return json.Marshal(st)
+}
+
+// RestoreState overwrites the source's mutable state. It must run
+// after the scheduler's RestoreState so the timer handles re-point
+// against the restored slot generations.
+func (s *Source) RestoreState(enc json.RawMessage) error {
+	var st SourceState
+	if err := json.Unmarshal(enc, &st); err != nil {
+		return fmt.Errorf("traffic: source state: %w", err)
+	}
+	s.on = st.On
+	s.up = st.Up
+	s.started = st.Started
+	s.sched.RestoreTimer(&s.arrivalTimer, st.Arrival)
+	s.sched.RestoreTimer(&s.phaseTimer, st.Phase)
+	s.sched.RestoreTimer(&s.churnTimer, st.Churn)
+	s.times = nil
+	if len(st.Times) > 0 {
+		s.times = append([]sim.Time(nil), st.Times...)
+	}
+	s.mask = st.Mask
+	s.stat = st.Stat
+	s.rng.SetState(st.RNG)
+	return nil
+}
+
+// EncodeEventArg encodes one source-owned agenda event argument (the
+// three fixed timer kinds).
+func (s *Source) EncodeEventArg(arg any) (json.RawMessage, error) {
+	ev, ok := arg.(srcEvent)
+	if !ok {
+		return nil, fmt.Errorf("traffic: source holds unencodable event arg %T", arg)
+	}
+	return json.Marshal(int(ev))
+}
+
+// DecodeEventArg inverts EncodeEventArg.
+func (s *Source) DecodeEventArg(enc json.RawMessage) (any, error) {
+	var ev int
+	if err := json.Unmarshal(enc, &ev); err != nil {
+		return nil, fmt.Errorf("traffic: source event arg: %w", err)
+	}
+	return srcEvent(ev), nil
+}
