@@ -15,7 +15,8 @@
 #   make docs-check documentation gate: gofmt diff, vet, package-comment
 #                   guard over internal/, markdown link check
 #   make fuzz-smoke short randomized pass of the checked-in fuzzers
-#                   (scheduler agenda, CMAP defer table) beyond their
+#                   (scheduler agenda, CMAP defer table, grid
+#                   re-bucketing, delivery-list patching) beyond their
 #                   seed corpora
 #   make conformance  the shared MAC conformance suite (every registered
 #                   arm: allocation, determinism, worker-equivalence and
@@ -26,7 +27,14 @@
 #                   shards, end-to-end through experiments
 #   make bench-guard  compare the two newest checked-in BENCH_*.json and
 #                   fail on >20% ns/op regression in SaturatedSteadyState
-#                   (BENCHDIFF_SKIP=1 accepts a deliberate one)
+#                   or IncrementalUpdate (BENCHDIFF_SKIP=1 accepts a
+#                   deliberate one)
+#   make mobility-conformance  the mobility tier: mobility unit tests,
+#                   every arm's mobile determinism/worker-equivalence/
+#                   conservation contracts, the incremental-vs-rebuild
+#                   medium equivalence, the mobile golden traces, the
+#                   staleness-sweep properties and the mobile
+#                   checkpoint/resume bit-identity cases
 #   make checkpoint-conformance  the checkpoint/resume bit-identity
 #                   matrix (every golden scenario × every registered MAC
 #                   arm × shards 1/2/4: resume-at-midpoint must equal an
@@ -34,11 +42,12 @@
 #                   plus the envelope damage table and the scheduler
 #                   round-trip unit tier
 #   make cover      coverage profile over every package (coverage.out)
-#                   with hard floors on internal/analytic and internal/mac
+#                   with hard floors on internal/analytic, internal/mac
+#                   and internal/mobility
 #   make ci         the full gate: vet + race short tier + alloc gate + golden tier
 #                   + conformance + shard conformance + checkpoint conformance
-#                   + bench guard + bench smoke + docs check + fuzz smoke
-#                   + coverage floor
+#                   + mobility conformance + bench guard + bench smoke
+#                   + docs check + fuzz smoke + coverage floor
 
 GO ?= go
 
@@ -57,7 +66,12 @@ ANALYTIC_COVER_FLOOR ?= 85
 # stay exercised.
 MAC_COVER_FLOOR ?= 85
 
-.PHONY: build test test-full race bench check vet golden alloc-check bench-json profile bench-smoke docs-check fuzz-smoke conformance shard-conformance checkpoint-conformance bench-guard cover ci
+# Coverage floor for the mobility subsystem: trajectories feed the
+# incremental medium and the checkpoint codec, so untested movement or
+# shadowing branches silently skew every mobile figure.
+MOBILITY_COVER_FLOOR ?= 85
+
+.PHONY: build test test-full race bench check vet golden alloc-check bench-json profile bench-smoke docs-check fuzz-smoke conformance shard-conformance checkpoint-conformance mobility-conformance bench-guard cover ci
 
 build:
 	$(GO) build ./...
@@ -114,6 +128,8 @@ docs-check:
 fuzz-smoke:
 	$(GO) test -timeout $(TEST_TIMEOUT) -run='^$$' -fuzz=FuzzScheduler -fuzztime=5s ./internal/sim
 	$(GO) test -timeout $(TEST_TIMEOUT) -run='^$$' -fuzz=FuzzDeferTable -fuzztime=5s ./internal/core
+	$(GO) test -timeout $(TEST_TIMEOUT) -run='^$$' -fuzz=FuzzGridRebucket -fuzztime=5s ./internal/geo
+	$(GO) test -timeout $(TEST_TIMEOUT) -run='^$$' -fuzz=FuzzDeliveryPatch -fuzztime=5s ./internal/medium
 
 # The shared MAC conformance suite under the race detector: every
 # registered arm's allocation (skipped under race), determinism,
@@ -131,10 +147,24 @@ shard-conformance:
 	$(GO) test -timeout $(TEST_TIMEOUT) -race -count=1 -run 'TestSharded' ./internal/experiments
 
 # Bench regression guard: the two most recently committed BENCH_*.json
-# are diffed; >20% ns/op growth in SaturatedSteadyState fails the gate.
-# BENCHDIFF_SKIP=1 accepts a deliberate regression (say why in the PR).
+# are diffed; >20% ns/op growth in SaturatedSteadyState or
+# IncrementalUpdate fails the gate. BENCHDIFF_SKIP=1 accepts a
+# deliberate regression (say why in the PR).
 bench-guard:
 	$(GO) run ./cmd/benchdiff -auto
+
+# The mobility tier: the mobility package's own unit tests (models,
+# channel, checkpoint codec), every registered arm's mobile
+# determinism / worker-equivalence / conservation contracts under the
+# race detector, the incremental-vs-rebuild delivery-list equivalence,
+# the mobile golden traces, the staleness-sweep figure properties, the
+# churn × mobility interplay, and the mobile checkpoint/resume
+# bit-identity cases.
+mobility-conformance:
+	$(GO) test -timeout $(TEST_TIMEOUT) -count=1 ./internal/mobility
+	$(GO) test -timeout $(TEST_TIMEOUT) -race -count=1 -run 'TestConformance/.*/Mobile' ./internal/mac/conformance
+	$(GO) test -timeout $(TEST_TIMEOUT) -count=1 -run 'TestIncrementalMatchesRebuild' ./internal/medium
+	$(GO) test -timeout $(TEST_TIMEOUT) -count=1 -run 'TestGoldenMobileTraces|TestStalenessSweep|TestMobilityChurnInterplay|TestCheckpointResumeBitIdentical/.*mobile' ./internal/experiments
 
 # Checkpoint/resume bit-identity: FlowSim must reproduce the batch
 # runners exactly, and checkpoint-at-midpoint-then-resume must match an
@@ -162,6 +192,10 @@ cover:
 	echo "internal/mac coverage: $$pct% (floor $(MAC_COVER_FLOOR)%)"; \
 	awk "BEGIN{exit !($$pct >= $(MAC_COVER_FLOOR))}" || \
 		{ echo "internal/mac coverage $$pct% below floor $(MAC_COVER_FLOOR)%"; exit 1; }
+	@pct=$$($(GO) test -timeout $(TEST_TIMEOUT) -cover ./internal/mobility | grep -o '[0-9.]*%' | tr -d '%'); \
+	echo "internal/mobility coverage: $$pct% (floor $(MOBILITY_COVER_FLOOR)%)"; \
+	awk "BEGIN{exit !($$pct >= $(MOBILITY_COVER_FLOOR))}" || \
+		{ echo "internal/mobility coverage $$pct% below floor $(MOBILITY_COVER_FLOOR)%"; exit 1; }
 
 ci: build vet
 	$(GO) test -timeout $(TEST_TIMEOUT) -race -short ./...
@@ -170,6 +204,7 @@ ci: build vet
 	$(MAKE) conformance
 	$(MAKE) shard-conformance
 	$(MAKE) checkpoint-conformance
+	$(MAKE) mobility-conformance
 	$(MAKE) bench-guard
 	$(MAKE) bench-smoke
 	$(MAKE) docs-check

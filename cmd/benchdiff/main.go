@@ -1,11 +1,11 @@
 // Command benchdiff compares two BENCH_<sha>.json trajectory files
 // (written by cmapbench -benchjson) and fails on ns/op regressions in
-// the guarded benchmark family, so a perf-sensitive change cannot land
-// a silently slower steady state.
+// the guarded benchmark families, so a perf-sensitive change cannot
+// land a silently slower steady state.
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.20] [-guard SaturatedSteadyState] old.json new.json
+//	benchdiff [-threshold 0.20] [-guard SaturatedSteadyState,IncrementalUpdate] old.json new.json
 //	benchdiff -auto
 //
 // -auto discovers the BENCH_*.json files in the current directory and
@@ -15,12 +15,12 @@
 // the first time a second trajectory file lands.
 //
 // Every benchmark present in both files is reported with its ns/op
-// delta. Only benchmarks whose name starts with the -guard prefix can
-// fail the run, and only when ns/op grew by more than -threshold
-// (default 20%). Setting BENCHDIFF_SKIP=1 reports the same table but
-// always exits 0 — the escape hatch for a deliberate, explained
-// regression; the variable name shows up in CI logs, which is the
-// point.
+// delta. Only benchmarks whose name starts with one of the
+// comma-separated -guard prefixes can fail the run, and only when
+// ns/op grew by more than -threshold (default 20%). Setting
+// BENCHDIFF_SKIP=1 reports the same table but always exits 0 — the
+// escape hatch for a deliberate, explained regression; the variable
+// name shows up in CI logs, which is the point.
 package main
 
 import (
@@ -111,9 +111,21 @@ func autoPair() (string, string, bool) {
 	return entries[len(entries)-2].path, entries[len(entries)-1].path, true
 }
 
+// guardedBy reports whether name starts with any of the comma-separated
+// prefixes in guard (empty prefixes are ignored).
+func guardedBy(name, guard string) bool {
+	for _, g := range strings.Split(guard, ",") {
+		if g = strings.TrimSpace(g); g != "" && strings.HasPrefix(name, g) {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.20, "fractional ns/op growth in a guarded benchmark that fails the diff")
-	guard := flag.String("guard", "SaturatedSteadyState", "benchmark name prefix the failure gate applies to")
+	guard := flag.String("guard", "SaturatedSteadyState,IncrementalUpdate",
+		"comma-separated benchmark name prefixes the failure gate applies to")
 	auto := flag.Bool("auto", false, "compare the two most recently committed BENCH_*.json in the current directory")
 	flag.Parse()
 
@@ -163,7 +175,7 @@ func main() {
 		delete(oldBy, b.Name)
 		delta := (b.NsPerOp - was) / was
 		marker := ""
-		if strings.HasPrefix(b.Name, *guard) && delta > *threshold {
+		if guardedBy(b.Name, *guard) && delta > *threshold {
 			marker = "  ← REGRESSION"
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %.0f → %.0f ns/op (%+.1f%%)", b.Name, was, b.NsPerOp, 100*delta))

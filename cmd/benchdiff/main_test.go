@@ -45,6 +45,25 @@ func TestAutoPairOrdering(t *testing.T) {
 	}
 }
 
+func TestGuardedByPrefixList(t *testing.T) {
+	cases := []struct {
+		name, guard string
+		want        bool
+	}{
+		{"SaturatedSteadyState/n=200", "SaturatedSteadyState,IncrementalUpdate", true},
+		{"IncrementalUpdate/n=1000", "SaturatedSteadyState,IncrementalUpdate", true},
+		{"DeliveryRebuild/n=1000", "SaturatedSteadyState,IncrementalUpdate", false},
+		{"MediumConstruct/n=50", "SaturatedSteadyState", false},
+		{"IncrementalUpdate/n=50", " SaturatedSteadyState , IncrementalUpdate ", true},
+		{"anything", ",,", false},
+	}
+	for _, c := range cases {
+		if got := guardedBy(c.name, c.guard); got != c.want {
+			t.Errorf("guardedBy(%q, %q) = %v, want %v", c.name, c.guard, got, c.want)
+		}
+	}
+}
+
 func TestLoadRejectsBadJSON(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/BENCH_bad.json"

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	cmapbench [-seed N] [-scale quick|mid|paper] [-only fig12,mesh,loadsweep,cssweep,...] [-parallel W] [-trials N] [-progress]
+//	cmapbench [-seed N] [-scale quick|mid|paper] [-only fig12,mesh,loadsweep,cssweep,staleness,...] [-parallel W] [-trials N] [-progress]
 //	          [-arms csma,cmap,rtscts,cs@-82,...] [-traffic cbr|poisson|onoff] [-load 0.5,1,2,4,8] [-shards N]
+//	          [-mobility waypoint@3|walk@1.5|vehicular@20]
 //
 // -shards runs every figure's flow simulations on the sharded engine
 // (internal/shard) with N shards per run — deterministic, figure-level
@@ -22,6 +23,15 @@
 // paper-default arms when the flag is unset. The cssweep section (its
 // own figure, beyond the paper) sweeps the cs@<dBm> family across
 // exposed and hidden pairs and flags the threshold knee.
+//
+// -mobility moves every flow figure's nodes with the given motion
+// model ("<model>@<speed m/s>[@roamM]", models waypoint | walk |
+// vehicular) on the serial engine (incompatible with -shards); the
+// medium patches per-node delivery lists incrementally as nodes move.
+// The staleness section (-only staleness, its own figure beyond the
+// paper) ignores the flag and sweeps waypoint speed itself: goodput
+// versus node speed for CMAP against csma and rtscts on the exposed
+// pairs, showing conflict-map staleness erode CMAP's advantage.
 //
 // -traffic replaces the saturated senders of every flow-based figure
 // (calibration, the pair figures, interferers, APs, sender sweep,
@@ -72,6 +82,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/experiments"
 	"repro/internal/mac"
+	"repro/internal/mobility"
 	"repro/internal/phy"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -103,7 +114,7 @@ func parseLoads(s string) ([]float64, error) {
 func main() {
 	seed := flag.Uint64("seed", 1, "master seed (same seed → identical numbers)")
 	scale := flag.String("scale", "mid", "quick | mid | paper")
-	only := flag.String("only", "", "comma-separated subset: census,calibration,fig12,fig13,fig14,fig15,fig16,fig17,fig19,fig20,mesh,loadsweep,cssweep")
+	only := flag.String("only", "", "comma-separated subset: census,calibration,fig12,fig13,fig14,fig15,fig16,fig17,fig19,fig20,mesh,loadsweep,cssweep,staleness")
 	armList := flag.String("arms", "", "override figure arm sets with registry names (e.g. csma,cmap,rtscts,cs@-82); \"list\" prints all arms")
 	trafficKind := flag.String("traffic", "", "arrival model for every figure: saturated | cbr | poisson | onoff (default saturated)")
 	loadList := flag.String("load", "0.5,1,2,4,8", "per-flow offered loads in Mb/s: the sweep uses the list, other figures the first value")
@@ -114,6 +125,7 @@ func main() {
 	analyticVerify := flag.Bool("analytic-verify", false, "with -analytic: also simulate the full grid and report agreement and speedup")
 	benchJSON := flag.Bool("benchjson", false, "run the scaling benchmarks, write BENCH_<git-short-sha>.json, and exit")
 	shards := flag.Int("shards", 0, "run every figure's simulations on the sharded engine with N shards (<=1 = serial)")
+	mobilityFlag := flag.String("mobility", "", "move every figure's nodes: <model>@<speed m/s>[@roamM] with model waypoint|walk|vehicular (serial engine only)")
 	resumeDir := flag.String("resume", "", "campaign directory: record section and load-sweep-point completion there and resume a killed run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
@@ -184,6 +196,18 @@ func main() {
 	}
 	opt.Workers = *parallel
 	opt.Shards = *shards
+	if *mobilityFlag != "" {
+		mob, err := mobility.ParseSpec(*mobilityFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if mob.Active() && *shards > 1 {
+			fmt.Fprintln(os.Stderr, "-mobility needs the serial engine; drop -shards")
+			os.Exit(2)
+		}
+		opt.Mobility = mob
+	}
 	if *trials > 0 {
 		opt.Pairs = *trials
 		opt.Triples = *trials
@@ -404,6 +428,13 @@ func main() {
 		})
 	}
 
+	if sel("staleness") {
+		step("Staleness sweep — goodput vs node speed (beyond the paper)", func() {
+			res := experiments.StalenessSweep(tb, opt, nil)
+			fmt.Print(res.Format())
+		})
+	}
+
 	if sel("loadsweep") {
 		step("Load sweep — goodput/latency vs offered load (beyond the paper)", func() {
 			// Under -resume the sweep additionally records every
@@ -445,6 +476,7 @@ type campaignConfig struct {
 	Traffic                        traffic.Spec
 	Arms                           []experiments.Protocol
 	Shards                         int
+	Mobility                       mobility.Spec
 	Loads                          []float64
 }
 
@@ -462,6 +494,7 @@ func campaignCfg(opt experiments.Options, loads []float64) campaignConfig {
 		Traffic:  opt.Traffic,
 		Arms:     opt.Arms,
 		Shards:   opt.Shards,
+		Mobility: opt.Mobility,
 		Loads:    loads,
 	}
 }

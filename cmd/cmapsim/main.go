@@ -7,7 +7,8 @@
 //	cmapsim [-seed N] [-topology exposed|inrange|hidden] [-protocol cmap|cmap1|dcf|dcf-nocs|dcf-nocs-noack]
 //	        [-arm csma|rtscts|cs@-82|...] [-duration 30s] [-index 0] [-trace N] [-trials 1] [-parallel 0]
 //	        [-traffic cbr|poisson|onoff] [-load 2.0] [-churn 500ms] [-predict] [-shards N]
-//	cmapsim -scenario gridcity|clusters|disk [-nodes 200] ...
+//	        [-mobility waypoint@3|walk@1.5|vehicular@20]
+//	cmapsim -scenario gridcity|clusters|disk|highway [-nodes 200] ...
 //
 // -arm runs any arm of the internal/mac registry by name — including
 // family members like cs@-82 (CSMA with a −82 dBm carrier-sense
@@ -33,6 +34,14 @@
 // alternate between live sessions and silent gaps of the given mean
 // duration. Left empty, -traffic falls back to the scenario's suggested
 // workload (saturated for all built-in layouts).
+//
+// -mobility moves the nodes while the flows run: "<model>@<speed m/s>"
+// with an optional roam radius third field ("waypoint@3@15"), models
+// waypoint | walk | vehicular, on the registry -arm path (serial
+// engine only — it is incompatible with -shards). The medium patches
+// per-node delivery lists incrementally as nodes move. Left empty, the
+// scenario's suggested motion applies (static for every built-in
+// layout except highway, which streams vehicles at 20 m/s).
 //
 // -shards partitions the single simulation across N shard goroutines
 // (the internal/shard engine) on the registry -arm path. Each flow's
@@ -65,6 +74,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mac"
 	"repro/internal/medium"
+	"repro/internal/mobility"
 	"repro/internal/phy"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -276,7 +286,7 @@ func resolveArm(name string) (mac.Arm, error) {
 // per-flow RNG stream labels (100+i / 200+i stations, 300+i sources),
 // so the numbers match the pre-FlowSim microscope bit-exactly — and
 // the simulation can be checkpointed and resumed mid-run.
-func trialFlowSim(tb *topo.Testbed, pair topo.LinkPair, armName string, spec traffic.Spec, d sim.Time, seed uint64, shards int) (*experiments.FlowSim, error) {
+func trialFlowSim(tb *topo.Testbed, pair topo.LinkPair, armName string, spec traffic.Spec, mob mobility.Spec, d sim.Time, seed uint64, shards int) (*experiments.FlowSim, error) {
 	return experiments.NewFlowSim(tb, experiments.FlowSimConfig{
 		Arm:      experiments.Protocol(armName),
 		Flows:    []topo.Link{pair.A, pair.B},
@@ -284,6 +294,7 @@ func trialFlowSim(tb *topo.Testbed, pair topo.LinkPair, armName string, spec tra
 		Warmup:   d * 2 / 5,
 		Rate:     phy.Rate6Mbps,
 		Traffic:  spec,
+		Mobility: mob,
 		Shards:   shards,
 		Trial:    true,
 		Seed:     seed,
@@ -327,8 +338,8 @@ func reportTrialArm(fs *experiments.FlowSim, pair topo.LinkPair, detail bool) tr
 // detail report sticks to the arm-independent surface (goodput and MAC
 // drops); the legacy -protocol path keeps its protocol-specific
 // counters.
-func runTrialArm(tb *topo.Testbed, pair topo.LinkPair, armName string, spec traffic.Spec, d sim.Time, seed uint64, shards int, detail bool) trialResult {
-	fs, err := trialFlowSim(tb, pair, armName, spec, d, seed, shards)
+func runTrialArm(tb *topo.Testbed, pair topo.LinkPair, armName string, spec traffic.Spec, mob mobility.Spec, d sim.Time, seed uint64, shards int, detail bool) trialResult {
+	fs, err := trialFlowSim(tb, pair, armName, spec, mob, d, seed, shards)
 	if err != nil {
 		panic(err) // arm names are validated at the CLI boundary
 	}
@@ -343,8 +354,8 @@ func runTrialArm(tb *topo.Testbed, pair topo.LinkPair, armName string, spec traf
 // from the identical flags and continues from the file — bit-identical
 // to a run that was never interrupted. Progress notes go to stderr so
 // stdout stays comparable between interrupted and uninterrupted runs.
-func runTrialArmCheckpointed(tb *topo.Testbed, pair topo.LinkPair, armName string, spec traffic.Spec, d sim.Time, seed uint64, shards int, ckptPath string, every sim.Time, resumePath string) trialResult {
-	fs, err := trialFlowSim(tb, pair, armName, spec, d, seed, shards)
+func runTrialArmCheckpointed(tb *topo.Testbed, pair topo.LinkPair, armName string, spec traffic.Spec, mob mobility.Spec, d sim.Time, seed uint64, shards int, ckptPath string, every sim.Time, resumePath string) trialResult {
+	fs, err := trialFlowSim(tb, pair, armName, spec, mob, d, seed, shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -381,17 +392,27 @@ func runTrialArmCheckpointed(tb *topo.Testbed, pair topo.LinkPair, armName strin
 // buildTestbed realises the chosen layout and, for the generated
 // scenarios, runs the link-measurement pass over it so the Figure 11
 // topology pickers work on top. The pass is O(n²) — cmapsim sizes are
-// CLI-scale, not the 1000-node benchmark regime. The second and third
-// results are the scenario's suggested workload and MAC arm set
-// (saturated and driver-default unless the layout says otherwise),
-// which the -traffic and -arm/-protocol flags override.
-func buildTestbed(scenario string, nodes int, seed uint64) (*topo.Testbed, traffic.Spec, []string, error) {
+// CLI-scale, not the 1000-node benchmark regime. The later results
+// are the scenario's suggested workload, MAC arm set and motion model
+// (saturated, driver-default and static unless the layout says
+// otherwise), which the -traffic, -arm/-protocol and -mobility flags
+// override.
+func buildTestbed(scenario string, nodes int, seed uint64) (*topo.Testbed, traffic.Spec, []string, mobility.Spec, error) {
 	switch scenario {
 	case "testbed":
 		if nodes <= 0 {
 			nodes = 50
 		}
-		return topo.NewTestbed(nodes, seed), traffic.Saturate(), nil, nil
+		return topo.NewTestbed(nodes, seed), traffic.Saturate(), nil, mobility.Spec{}, nil
+	case "highway":
+		// Three lanes of through traffic at motorway speed; the strip is
+		// long enough that the measured pair sees a steady stream of
+		// vehicles passing through its neighbourhood.
+		if nodes <= 0 {
+			nodes = 120
+		}
+		sc := topo.Highway(nodes, 3, 600, 8, 20, seed)
+		return sc.Testbed(), sc.Traffic, sc.Arms, sc.Mobility, nil
 	case "gridcity":
 		// Blocks of 300 m keep same-block links inside the strong-signal
 		// range of the urban model, so potential transmission links exist.
@@ -404,7 +425,7 @@ func buildTestbed(scenario string, nodes int, seed uint64) (*topo.Testbed, traff
 			side++
 		}
 		sc := topo.GridCity(side, side, perBlock, 300, seed)
-		return sc.Testbed(), sc.Traffic, sc.Arms, nil
+		return sc.Testbed(), sc.Traffic, sc.Arms, sc.Mobility, nil
 	case "clusters":
 		// Tight hotspot cells a block apart: in-cell links are strong,
 		// neighbouring cells interact only through carrier sense.
@@ -417,15 +438,15 @@ func buildTestbed(scenario string, nodes int, seed uint64) (*topo.Testbed, traff
 			cells = 1
 		}
 		sc := topo.ClusteredAPs(cells, clients, 400, 12, seed)
-		return sc.Testbed(), sc.Traffic, sc.Arms, nil
+		return sc.Testbed(), sc.Traffic, sc.Arms, sc.Mobility, nil
 	case "disk":
 		if nodes <= 0 {
 			nodes = 200
 		}
 		sc := topo.UniformDisk(nodes, 200, seed)
-		return sc.Testbed(), sc.Traffic, sc.Arms, nil
+		return sc.Testbed(), sc.Traffic, sc.Arms, sc.Mobility, nil
 	}
-	return nil, traffic.Spec{}, nil, fmt.Errorf("unknown scenario %q", scenario)
+	return nil, traffic.Spec{}, nil, mobility.Spec{}, fmt.Errorf("unknown scenario %q", scenario)
 }
 
 func main() {
@@ -443,6 +464,7 @@ func main() {
 	trafficKind := flag.String("traffic", "", "arrival model: saturated | cbr | poisson | onoff (empty = scenario default)")
 	load := flag.Float64("load", 2.0, "per-flow offered load in Mb/s of payload (non-saturated -traffic only)")
 	churn := flag.Duration("churn", 0, "mean session up/down duration for flow churn (0 = no churn)")
+	mobilityFlag := flag.String("mobility", "", "node motion: <model>@<speed m/s>[@roamM] with model waypoint|walk|vehicular, or none (empty = scenario default)")
 	predict := flag.Bool("predict", false, "also print the analytic oracle's saturated per-flow prediction")
 	shards := flag.Int("shards", 0, "partition the simulation across N shard goroutines (registry -arm path only; <=1 = serial)")
 	ckptPath := flag.String("checkpoint", "", "write the full simulation state to this file every -checkpoint-every of virtual time (registry -arm single-trial path)")
@@ -470,10 +492,17 @@ func main() {
 		}
 	}
 
-	tb, spec, suggested, err := buildTestbed(*scenario, *nodes, *seed)
+	tb, spec, suggested, mob, err := buildTestbed(*scenario, *nodes, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *mobilityFlag != "" {
+		mob, err = mobility.ParseSpec(*mobilityFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 	// With neither -arm nor -protocol chosen explicitly, a scenario that
 	// suggests arms picks the station type (mirroring how an unset
@@ -548,6 +577,17 @@ func main() {
 		predictPair(tb, pair, name, *seed)
 	}
 
+	if mob.Active() {
+		if *armFlag == "" {
+			fmt.Fprintln(os.Stderr, "-mobility needs the registry path: pass -arm (e.g. -arm cmap)")
+			os.Exit(2)
+		}
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "-mobility needs the serial engine; drop -shards")
+			os.Exit(2)
+		}
+		fmt.Printf("mobility: %s\n", mob)
+	}
 	if *shards > 1 && *armFlag == "" {
 		// The legacy -protocol microscope is serial-only; sharding runs
 		// through the registry wiring.
@@ -569,7 +609,7 @@ func main() {
 	// the protocol-specific microscope for the legacy -protocol names.
 	trial := func(seed uint64, detail bool, traceN int) trialResult {
 		if *armFlag != "" {
-			return runTrialArm(tb, pair, *armFlag, spec, sim.Duration(*duration), seed, *shards, detail)
+			return runTrialArm(tb, pair, *armFlag, spec, mob, sim.Duration(*duration), seed, *shards, detail)
 		}
 		return runTrial(tb, pair, *protocol, spec, sim.Duration(*duration), seed, detail, traceN)
 	}
@@ -579,7 +619,7 @@ func main() {
 		trialSeed := rng.Uint64()
 		var res trialResult
 		if *ckptPath != "" || *resumePath != "" {
-			res = runTrialArmCheckpointed(tb, pair, *armFlag, spec, sim.Duration(*duration),
+			res = runTrialArmCheckpointed(tb, pair, *armFlag, spec, mob, sim.Duration(*duration),
 				trialSeed, *shards, *ckptPath, sim.Duration(*ckptEvery), *resumePath)
 		} else {
 			res = trial(trialSeed, true, *traceN)

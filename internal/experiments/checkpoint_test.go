@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/mac"
+	"repro/internal/mobility"
 	"repro/internal/phy"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -163,6 +164,31 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 			}
 		}
 	}
+	// Mobile spot checks: trajectories, movement RNG streams, shadow
+	// epochs and the incremental medium's patched delivery lists must
+	// survive the cut too, for every movement model. Serial only —
+	// mobility is gated to the unsharded engine.
+	mobileSpecs := []mobility.Spec{
+		{Kind: mobility.Waypoint, SpeedMps: 5, RangeM: 12, DecorrM: 10},
+		{Kind: mobility.RandomWalk, SpeedMps: 2, RangeM: 12, DecorrM: 10},
+		{Kind: mobility.Vehicular, SpeedMps: 15, DecorrM: 10},
+	}
+	if testing.Short() {
+		mobileSpecs = mobileSpecs[:1]
+	}
+	for _, spec := range mobileSpecs {
+		spec := spec
+		for _, arm := range []Protocol{CSMAOn, CMAP} {
+			arm := arm
+			t.Run("exposed/mobile-"+spec.Kind.String()+"/"+string(arm), func(t *testing.T) {
+				t.Parallel()
+				tp := goldenTopologies(tb, seed)[0]
+				cfg := flowSimConfig(string(arm), tp.flows, opt, 1, traffic.Saturate(), seed+arm.seedSalt()*104729)
+				cfg.Mobility = spec
+				checkpointResumeCase(t, tb, cfg, opt.Duration)
+			})
+		}
+	}
 	// Traffic-mode spot checks: sources, latency recorders and churn
 	// timers must survive the cut too.
 	spec := traffic.PoissonAt(300)
@@ -177,6 +203,16 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 			checkpointResumeCase(t, tb, cfg, opt.Duration)
 		})
 	}
+	// Churn × mobility interplay: session timers and movement epochs
+	// interleave on the same scheduler, and both owners' state must
+	// survive the cut together.
+	t.Run("exposed/traffic-churn/mobile-waypoint", func(t *testing.T) {
+		t.Parallel()
+		tp := goldenTopologies(tb, seed)[0]
+		cfg := flowSimConfig(string(CMAP), tp.flows, opt, 1, spec, seed+54321)
+		cfg.Mobility = mobility.Spec{Kind: mobility.Waypoint, SpeedMps: 5, RangeM: 12, DecorrM: 10}
+		checkpointResumeCase(t, tb, cfg, opt.Duration)
+	})
 }
 
 func checkpointResumeCase(t *testing.T, tb *topo.Testbed, cfg FlowSimConfig, d sim.Time) {

@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"repro/internal/mac"
+	"repro/internal/medium"
+	"repro/internal/mobility"
 	"repro/internal/phy"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -128,6 +130,13 @@ type Options struct {
 	// lookahead window late. Orthogonal to Workers, which parallelizes
 	// across independent trials.
 	Shards int
+	// Mobility moves nodes during each run (internal/mobility),
+	// patching the medium's delivery lists incrementally per position
+	// epoch. The zero value keeps every scenario static — the
+	// golden-trace path. Mobility requires the serial engine: the
+	// spatial shard partition is computed from initial positions, so
+	// combining it with Shards > 1 panics.
+	Mobility mobility.Spec
 }
 
 // armsOr returns opt.Arms if set, else the figure's default arm list.
@@ -221,6 +230,9 @@ func (r FlowResult) HdrOrTrailFrac() float64 {
 // path, which additionally measures drops and per-packet latency.
 func runFlows(tb *topo.Testbed, flows []topo.Link, p Protocol, opt Options, runSeed uint64) []FlowResult {
 	if opt.Shards > 1 {
+		if opt.Mobility.Active() {
+			panic("experiments: mobility requires the serial engine (set Shards <= 1)")
+		}
 		return runShardedFlows(tb, flows, p, opt, runSeed)
 	}
 	if opt.Traffic.Kind != traffic.Saturated {
@@ -228,7 +240,7 @@ func runFlows(tb *topo.Testbed, flows []topo.Link, p Protocol, opt Options, runS
 	}
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(runSeed)
-	m := tb.Build(sched, rng.Stream(1))
+	m, _ := buildMedium(tb, opt, sched, rng)
 	meters := make([]*stats.Meter, len(flows))
 	results := make([]FlowResult, len(flows))
 
@@ -262,6 +274,31 @@ func runFlows(tb *topo.Testbed, flows []topo.Link, p Protocol, opt Options, runS
 		}
 	}
 	return results
+}
+
+// buildMedium builds one run's medium and, when opt.Mobility is
+// active, the started mobility manager driving it. The construction
+// order preserves the static seed discipline exactly — the medium
+// always consumes rng.Stream(1), the manager its own StreamLabel
+// stream, and stream derivation never disturbs the parent — so a
+// static spec reproduces pre-mobility runs bit-identically. With a
+// shadowing decorrelation distance set, the testbed's model is wrapped
+// in a per-run mobility.Channel (identical to the bare model until the
+// first epoch bump).
+func buildMedium(tb *topo.Testbed, opt Options, sched *sim.Scheduler, rng *sim.RNG) (*medium.Medium, *mobility.Manager) {
+	if !opt.Mobility.Active() {
+		return tb.Build(sched, rng.Stream(1)), nil
+	}
+	model := tb.Model
+	var ch *mobility.Channel
+	if opt.Mobility.DecorrM > 0 {
+		ch = mobility.NewChannel(tb.Model, tb.N)
+		model = ch
+	}
+	m := tb.BuildWith(sched, rng.Stream(1), model)
+	mg := mobility.New(opt.Mobility, tb.Bounds, m, rng.Stream(mobility.StreamLabel), ch)
+	mg.Start()
+	return m, mg
 }
 
 // aggregate sums the goodput of all flows in a run.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/mac"
 	"repro/internal/medium"
+	"repro/internal/mobility"
 	"repro/internal/phy"
 	"repro/internal/shard"
 	"repro/internal/sim"
@@ -45,6 +46,8 @@ type FlowSim struct {
 	sched *sim.Scheduler
 	m     *medium.Medium
 	eng   *shard.Engine
+	// mg drives node movement when cfg.Mobility is active (serial only).
+	mg *mobility.Manager
 
 	senders   []mac.Node
 	receivers []mac.Node
@@ -62,8 +65,9 @@ type FlowSim struct {
 type ownerRef struct {
 	key     string
 	handler sim.EventHandler
-	node    mac.Node        // set for MAC owners
-	src     *traffic.Source // set for source owners
+	node    mac.Node          // set for MAC owners
+	src     *traffic.Source   // set for source owners
+	mob     *mobility.Manager // set for the mobility epoch owner
 }
 
 // FlowSimConfig fixes one run. Every field participates in the
@@ -87,6 +91,8 @@ type FlowSimConfig struct {
 	// two wirings are behaviourally identical; the labels differ for
 	// historical reasons and both are pinned by golden output.
 	Trial bool
+	// Mobility moves nodes during the run; requires the serial engine.
+	Mobility mobility.Spec
 	// Seed is the run seed (runFlows' runSeed).
 	Seed uint64
 }
@@ -105,14 +111,15 @@ type flowSimHash struct {
 // sharded), then per-component states keyed or ordered exactly as the
 // construction orders them.
 type flowSimState struct {
-	Sched   *sim.SchedulerState        `json:"sched,omitempty"`
-	Medium  *medium.State              `json:"medium,omitempty"`
-	Radios  []phy.RadioState           `json:"radios,omitempty"`
-	Engine  *shard.EngineState         `json:"engine,omitempty"`
-	Macs    map[string]json.RawMessage `json:"macs"`
-	Sources []json.RawMessage          `json:"sources,omitempty"`
-	Meters  []stats.MeterState         `json:"meters"`
-	Lats    []stats.LatencyState       `json:"lats,omitempty"`
+	Sched    *sim.SchedulerState        `json:"sched,omitempty"`
+	Medium   *medium.State              `json:"medium,omitempty"`
+	Radios   []phy.RadioState           `json:"radios,omitempty"`
+	Engine   *shard.EngineState         `json:"engine,omitempty"`
+	Macs     map[string]json.RawMessage `json:"macs"`
+	Sources  []json.RawMessage          `json:"sources,omitempty"`
+	Meters   []stats.MeterState         `json:"meters"`
+	Lats     []stats.LatencyState       `json:"lats,omitempty"`
+	Mobility *mobility.State            `json:"mobility,omitempty"`
 }
 
 // NewFlowSim builds the simulation. The construction sequence — stream
@@ -134,6 +141,9 @@ func NewFlowSim(tb *topo.Testbed, cfg FlowSimConfig) (*FlowSim, error) {
 	}
 	rng := sim.NewRNG(cfg.Seed)
 	if cfg.Shards > 1 {
+		if cfg.Mobility.Active() {
+			return nil, fmt.Errorf("experiments: mobility requires the serial engine (set Shards <= 1)")
+		}
 		pairs := make([][2]int, len(cfg.Flows))
 		for i, f := range cfg.Flows {
 			pairs[i] = [2]int{f.Src, f.Dst}
@@ -143,9 +153,23 @@ func NewFlowSim(tb *topo.Testbed, cfg FlowSimConfig) (*FlowSim, error) {
 			Flows:  pairs,
 		})
 	} else {
+		// Mirror buildMedium exactly — same model wrapping, same stream
+		// labels, same Start point before any MAC exists — so a FlowSim
+		// stays bit-faithful to the batch runners under mobility too.
+		model := tb.Model
+		var ch *mobility.Channel
+		if cfg.Mobility.Active() && cfg.Mobility.DecorrM > 0 {
+			ch = mobility.NewChannel(tb.Model, tb.N)
+			model = ch
+		}
 		fs.sched = sim.NewScheduler()
-		fs.m = tb.Build(fs.sched, rng.Stream(1))
+		fs.m = tb.BuildWith(fs.sched, rng.Stream(1), model)
 		fs.addOwner(ownerRef{key: "medium", handler: fs.m})
+		if cfg.Mobility.Active() {
+			fs.mg = mobility.New(cfg.Mobility, tb.Bounds, fs.m, rng.Stream(mobility.StreamLabel), ch)
+			fs.addOwner(ownerRef{key: "mobility", handler: fs.mg, mob: fs.mg})
+			fs.mg.Start()
+		}
 	}
 	network := func(id int) mac.Network {
 		if fs.eng != nil {
@@ -362,6 +386,9 @@ func (fs *FlowSim) encode(target sim.EventHandler, arg any) (string, json.RawMes
 	case ref.src != nil:
 		enc, err := ref.src.EncodeEventArg(arg)
 		return ref.key, enc, err
+	case ref.mob != nil:
+		enc, err := ref.mob.EncodeEventArg(arg)
+		return ref.key, enc, err
 	default: // the serial medium
 		enc, err := fs.m.EncodeEventArg(arg)
 		return ref.key, enc, err
@@ -388,6 +415,9 @@ func (fs *FlowSim) decode(txs map[uint64]*phy.Transmission) sim.DecodeFunc {
 			return ref.handler, arg, err
 		case ref.src != nil:
 			arg, err := ref.src.DecodeEventArg(enc)
+			return ref.handler, arg, err
+		case ref.mob != nil:
+			arg, err := ref.mob.DecodeEventArg(enc)
 			return ref.handler, arg, err
 		default:
 			arg, err := fs.m.DecodeEventArg(enc, txs)
@@ -423,6 +453,10 @@ func (fs *FlowSim) exportState() (*flowSimState, error) {
 				return nil, err
 			}
 			st.Radios[i] = rs
+		}
+		if fs.mg != nil {
+			ms := fs.mg.ExportState()
+			st.Mobility = &ms
 		}
 	}
 	for _, id := range fs.order {
@@ -487,6 +521,16 @@ func (fs *FlowSim) restoreState(st *flowSimState) error {
 				return tx, nil
 			})
 			if err != nil {
+				return err
+			}
+		}
+		switch {
+		case fs.mg != nil && st.Mobility == nil:
+			return fmt.Errorf("experiments: checkpoint has no mobility state but the skeleton is mobile")
+		case fs.mg == nil && st.Mobility != nil:
+			return fmt.Errorf("experiments: checkpoint has mobility state but the skeleton is static")
+		case fs.mg != nil:
+			if err := fs.mg.RestoreState(*st.Mobility); err != nil {
 				return err
 			}
 		}

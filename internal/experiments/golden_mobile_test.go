@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/mobility"
+	"repro/internal/topo"
+)
+
+// The mobile golden trace extends the golden tier to moving nodes: the
+// same fixed topologies as golden_seed1, replayed under each mobility
+// model with shadowing re-draws, pinned bit-exactly. Any change to
+// trajectory generation, the incremental medium patches, or the
+// epoch-seeded shadowing channel shows up as a diff here. Regenerate
+// deliberately with:
+//
+//	go test ./internal/experiments -run TestGoldenMobileTraces -update
+
+// goldenMobileSeed is the single pinned seed — one seed × three models
+// keeps the tier's cost proportionate to the static files.
+const goldenMobileSeed = 1
+
+// goldenMobileSpecs is the pinned movement matrix, one spec per model.
+// RangeM keeps the sampled pairs connected; DecorrM exercises the
+// shadowing channel on every model.
+var goldenMobileSpecs = []mobility.Spec{
+	{Kind: mobility.Waypoint, SpeedMps: 5, RangeM: 12, DecorrM: 10},
+	{Kind: mobility.RandomWalk, SpeedMps: 2, RangeM: 12, DecorrM: 10},
+	{Kind: mobility.Vehicular, SpeedMps: 15, DecorrM: 10},
+}
+
+// goldenMobileArms spans the protocol families most sensitive to stale
+// state: both CMAP windows and the CSMA baseline.
+var goldenMobileArms = []Protocol{CSMAOn, CMAP, CMAPWin1}
+
+type goldenMobileRun struct {
+	Topology string       `json:"topology"`
+	Mobility string       `json:"mobility"`
+	Arm      string       `json:"arm"`
+	Flows    []goldenFlow `json:"flows"`
+}
+
+type goldenMobileFile struct {
+	Seed       uint64            `json:"seed"`
+	Nodes      int               `json:"nodes"`
+	DurationNs int64             `json:"duration_ns"`
+	WarmupNs   int64             `json:"warmup_ns"`
+	Runs       []goldenMobileRun `json:"runs"`
+}
+
+func captureGoldenMobile(seed uint64) goldenMobileFile {
+	opt := goldenOptions(seed)
+	tb := topo.NewTestbed(opt.Nodes, seed)
+	gf := goldenMobileFile{
+		Seed:       seed,
+		Nodes:      opt.Nodes,
+		DurationNs: int64(opt.Duration),
+		WarmupNs:   int64(opt.Warmup),
+	}
+	for ti, tp := range goldenTopologies(tb, seed) {
+		for si, spec := range goldenMobileSpecs {
+			for _, arm := range goldenMobileArms {
+				ropt := opt
+				ropt.Mobility = spec
+				runSeed := seed + uint64(ti)*7919 + arm.seedSalt()*104729 + uint64(si)*15485863
+				rs := runFlows(tb, tp.flows, arm, ropt, runSeed)
+				run := goldenMobileRun{Topology: tp.name, Mobility: spec.String(), Arm: arm.String()}
+				for _, fr := range rs {
+					run.Flows = append(run.Flows, goldenFlow{
+						Src:             fr.Link.Src,
+						Dst:             fr.Link.Dst,
+						MbpsBits:        fmt.Sprintf("%016x", math.Float64bits(fr.Mbps)),
+						Mbps:            strconv.FormatFloat(fr.Mbps, 'g', -1, 64),
+						VpktsSent:       fr.VpktsSent,
+						VpktsHeader:     fr.VpktsHeader,
+						VpktsHdrOrTrail: fr.VpktsHdrOrTrail,
+					})
+				}
+				gf.Runs = append(gf.Runs, run)
+			}
+		}
+	}
+	return gf
+}
+
+func goldenMobilePath() string {
+	return filepath.Join("testdata", fmt.Sprintf("golden_mobile_seed%d.json", goldenMobileSeed))
+}
+
+func TestGoldenMobileTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden tier runs via make golden, not the -short tier")
+	}
+	got := captureGoldenMobile(goldenMobileSeed)
+	path := goldenMobilePath()
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d runs)", path, len(got.Runs))
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no mobile golden trace (%v); run with -update to create it", err)
+	}
+	var want goldenMobileFile
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file %s: %v", path, err)
+	}
+	if len(got.Runs) != len(want.Runs) {
+		t.Fatalf("captured %d runs, golden file has %d — topology availability drifted; "+
+			"inspect and regenerate with -update", len(got.Runs), len(want.Runs))
+	}
+	for i := range want.Runs {
+		w, g := want.Runs[i], got.Runs[i]
+		if !reflect.DeepEqual(w, g) {
+			t.Errorf("run %d (%s/%s/%s) drifted from the golden trace:\n  want %+v\n  got  %+v\n"+
+				"simulation behaviour changed; if intentional, regenerate with -update",
+				i, w.Topology, w.Mobility, w.Arm, w, g)
+		}
+	}
+}

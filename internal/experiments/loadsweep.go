@@ -23,7 +23,7 @@ import (
 func runTrafficFlows(tb *topo.Testbed, flows []topo.Link, p Protocol, opt Options, runSeed uint64) []FlowResult {
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(runSeed)
-	m := tb.Build(sched, rng.Stream(1))
+	m, _ := buildMedium(tb, opt, sched, rng)
 	meters := make([]*stats.Meter, len(flows))
 	lats := make([]*stats.Latency, len(flows))
 	sources := make([]*traffic.Source, len(flows))

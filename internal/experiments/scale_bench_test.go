@@ -121,6 +121,24 @@ func BenchmarkSaturatedSteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalUpdate measures one MoveNode through the
+// incremental patch path at each scale size — O(k) per move, so ns/op
+// should stay roughly flat as n grows.
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	for _, n := range ScaleSizes {
+		b.Run(fmt.Sprintf("n=%d", n), BenchIncrementalUpdate(n))
+	}
+}
+
+// BenchmarkDeliveryRebuild prices the from-scratch rebuild the
+// incremental path replaces; the ratio against IncrementalUpdate at the
+// same n is the speedup mobility rides on.
+func BenchmarkDeliveryRebuild(b *testing.B) {
+	for _, n := range ScaleSizes {
+		b.Run(fmt.Sprintf("n=%d", n), BenchDeliveryRebuild(n))
+	}
+}
+
 // BenchmarkShardedSteadyState is the go-test face of the sharded scaling
 // matrix at its smallest size; the full n × shards grid runs through
 // cmapbench -benchjson, which records it in the BENCH trajectory.

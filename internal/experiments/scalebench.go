@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/csma"
+	"repro/internal/geo"
 	"repro/internal/medium"
 	"repro/internal/shard"
 	"repro/internal/sim"
@@ -272,6 +273,49 @@ func BenchShardedSteadyState(n, shards int) func(b *testing.B) {
 	}
 }
 
+// BenchIncrementalUpdate measures one MoveNode through the incremental
+// patch path: re-bucket the moved node in the grid, rebuild its own
+// delivery list from the candidate set, and patch every affected
+// neighbour list copy-on-write. The cost is O(k) in the audible
+// neighbourhood, independent of n — the property that makes per-epoch
+// mobility affordable at scale.
+func BenchIncrementalUpdate(n int) func(b *testing.B) {
+	s := topo.UniformDisk(n, ScaleDensity, 1)
+	return func(b *testing.B) {
+		m := s.Build(sim.NewScheduler(), sim.NewRNG(1))
+		if !m.GridBacked() {
+			b.Fatal("scale scenario is not grid-backed — the incremental path under test is not engaged")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx := i % n
+			p := m.Position(idx)
+			// Jitter ±0.5 m, alternating sign so the node oscillates in
+			// place instead of drifting out of its neighbourhood.
+			d := 0.5 - float64(i%2)
+			m.MoveNode(idx, geo.Point{X: p.X + d, Y: p.Y + d})
+		}
+	}
+}
+
+// BenchDeliveryRebuild prices the alternative the incremental path
+// replaces: a from-scratch BuildDeliveries over the current positions,
+// what a non-incremental medium would pay on every movement epoch. Read
+// against IncrementalUpdate at the same n, the ratio is the speedup the
+// mobility tier rides on.
+func BenchDeliveryRebuild(n int) func(b *testing.B) {
+	s := topo.UniformDisk(n, ScaleDensity, 1)
+	return func(b *testing.B) {
+		m := s.Build(sim.NewScheduler(), sim.NewRNG(1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.RebuildDeliveries()
+		}
+	}
+}
+
 // ScaleBenchmarks returns the scaling suite cmapbench -benchjson runs.
 func ScaleBenchmarks() []ScaleBenchmark {
 	var out []ScaleBenchmark
@@ -291,6 +335,18 @@ func ScaleBenchmarks() []ScaleBenchmark {
 		out = append(out, ScaleBenchmark{
 			Name: fmt.Sprintf("SaturatedSteadyState/n=%d", n),
 			Run:  BenchSaturatedSteadyState(n),
+		})
+	}
+	for _, n := range ScaleSizes {
+		out = append(out, ScaleBenchmark{
+			Name: fmt.Sprintf("IncrementalUpdate/n=%d", n),
+			Run:  BenchIncrementalUpdate(n),
+		})
+	}
+	for _, n := range ScaleSizes {
+		out = append(out, ScaleBenchmark{
+			Name: fmt.Sprintf("DeliveryRebuild/n=%d", n),
+			Run:  BenchDeliveryRebuild(n),
 		})
 	}
 	for _, n := range ShardScaleSizes {

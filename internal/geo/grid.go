@@ -1,22 +1,30 @@
 package geo
 
-import "math"
+import (
+	"math"
+	"slices"
+)
 
-// Grid is a uniform spatial hash over a fixed point set. It answers
-// "which points lie within radius r of point i" in time proportional to
-// the population of the cells the query circle overlaps, which makes
+// Grid is a uniform spatial hash over a point set. It answers "which
+// points lie within radius r of point i" in time proportional to the
+// population of the cells the query circle overlaps, which makes
 // neighbour enumeration over n points O(n·k) at fixed density instead of
-// O(n²). The point set is immutable after construction (simulated nodes
-// do not move).
+// O(n²). Construction buckets the initial point set into a compact CSR
+// layout; Move re-buckets individual points afterwards (mobile nodes),
+// switching the grid to mutable per-cell buckets on first use.
 type Grid struct {
 	pts        []Point
 	minX, minY float64
 	cell       float64
 	cols, rows int
 	// CSR layout: items[start[c]:start[c+1]] are the point indices in
-	// cell c, in ascending index order.
+	// cell c, in ascending index order. Dropped after the first Move in
+	// favour of cells.
 	start []int
 	items []int
+	// cells[c] holds cell c's point indices, ascending, once Move has
+	// materialised the mutable representation; nil until then.
+	cells [][]int
 }
 
 // NewGrid buckets pts into square cells of the given size. A non-positive
@@ -111,12 +119,58 @@ func (g *Grid) Within(i int, radius float64, visit func(j int)) {
 	cy1 := g.clampRow(toCell((p.Y + radius - g.minY) / g.cell))
 	for cy := cy0; cy <= cy1; cy++ {
 		for cx := cx0; cx <= cx1; cx++ {
-			c := cy*g.cols + cx
-			for _, j := range g.items[g.start[c]:g.start[c+1]] {
+			for _, j := range g.bucket(cy*g.cols + cx) {
 				if j != i && p.Dist(g.pts[j]) <= radius {
 					visit(j)
 				}
 			}
 		}
 	}
+}
+
+// bucket returns cell c's point indices, ascending, from whichever
+// representation is live.
+func (g *Grid) bucket(c int) []int {
+	if g.cells != nil {
+		return g.cells[c]
+	}
+	return g.items[g.start[c]:g.start[c+1]]
+}
+
+// At returns point i's current position.
+func (g *Grid) At(i int) Point { return g.pts[i] }
+
+// Move updates point i to p, re-bucketing it if it crossed a cell
+// boundary. The stored point slice is mutated in place (callers that
+// must keep the construction-time positions pass NewGrid a copy). The
+// grid's cell geometry is fixed at construction: points that move
+// outside the original bounds clamp into the edge cells, which stays
+// exact because cellIndex clamps identically on insert and on query and
+// Within's final distance check rejects any false candidates — a point
+// at unclamped column ≥ cols lands in column cols-1, and any query
+// circle reaching it clamps its column range to cols-1 too.
+func (g *Grid) Move(i int, p Point) {
+	if g.cells == nil {
+		// First move: materialise mutable buckets from the CSR arrays.
+		g.cells = make([][]int, g.cols*g.rows)
+		for c := range g.cells {
+			if s := g.items[g.start[c]:g.start[c+1]]; len(s) > 0 {
+				g.cells[c] = append([]int(nil), s...)
+			}
+		}
+		g.start, g.items = nil, nil
+	}
+	oc := g.cellIndex(g.pts[i])
+	g.pts[i] = p
+	nc := g.cellIndex(p)
+	if nc == oc {
+		return
+	}
+	old := g.cells[oc]
+	if k, ok := slices.BinarySearch(old, i); ok {
+		g.cells[oc] = append(old[:k], old[k+1:]...)
+	}
+	now := g.cells[nc]
+	k, _ := slices.BinarySearch(now, i)
+	g.cells[nc] = slices.Insert(now, k, i)
 }

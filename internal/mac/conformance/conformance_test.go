@@ -37,6 +37,9 @@ func TestConformance(t *testing.T) {
 			t.Run("Determinism", func(t *testing.T) { testDeterminism(t, armName) })
 			t.Run("WorkerEquivalence", func(t *testing.T) { testWorkerEquivalence(t, armName) })
 			t.Run("Conservation", func(t *testing.T) { testConservation(t, armName) })
+			t.Run("MobileDeterminism", func(t *testing.T) { testMobileDeterminism(t, armName) })
+			t.Run("MobileWorkerEquivalence", func(t *testing.T) { testMobileWorkerEquivalence(t, armName) })
+			t.Run("MobileConservation", func(t *testing.T) { testMobileConservation(t, armName) })
 		})
 	}
 }

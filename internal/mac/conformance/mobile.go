@@ -1,0 +1,144 @@
+package conformance
+
+import (
+	"repro/internal/geo"
+	"repro/internal/mac"
+	"repro/internal/medium"
+	"repro/internal/mobility"
+	"repro/internal/phy"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// MobileArena is the geometric fixture mobility conformance runs on.
+// The Matrix-backed Pair fixtures carry meaningless positions, so a
+// moving-node suite needs real geometry: a log-distance channel over a
+// small arena, flows placed on short links, and every node roaming a
+// disk around its start under a mobility.Manager.
+type MobileArena struct {
+	Name  string
+	Rect  geo.Rect
+	Pos   []geo.Point
+	Flows [][2]int
+	Spec  mobility.Spec
+}
+
+// MobileCleanLink is a single flow over a 10 m link, both endpoints
+// wandering a 5 m roam disk — the link stays comfortably decodable at
+// every reachable geometry, so backlog accounting is meaningful.
+func MobileCleanLink(spec mobility.Spec) MobileArena {
+	spec.RangeM = 5
+	return MobileArena{
+		Name: "mobile-clean",
+		Rect: geo.Rect{MinX: 0, MinY: 0, MaxX: 60, MaxY: 40},
+		Pos: []geo.Point{
+			{X: 25, Y: 20},
+			{X: 35, Y: 20},
+		},
+		Flows: [][2]int{{0, 1}},
+		Spec:  spec,
+	}
+}
+
+// MobileExposedPair is two short parallel flows far enough apart that
+// their receivers are safe but close enough that the senders interact
+// through carrier sense — the exposed geometry, now time-varying as all
+// four nodes roam.
+func MobileExposedPair(spec mobility.Spec) MobileArena {
+	spec.RangeM = 6
+	return MobileArena{
+		Name: "mobile-exposed",
+		Rect: geo.Rect{MinX: 0, MinY: 0, MaxX: 120, MaxY: 60},
+		Pos: []geo.Point{
+			{X: 40, Y: 20},
+			{X: 32, Y: 20},
+			{X: 70, Y: 40},
+			{X: 78, Y: 40},
+		},
+		Flows: [][2]int{{0, 1}, {2, 3}},
+		Spec:  spec,
+	}
+}
+
+// MobileFixture is a built mobile arena under one arm: medium, manager,
+// stations, and a goodput meter per flow. Seed derivation mirrors the
+// experiment harness (medium stream 1, node id stream 1000+id, manager
+// stream mobility.StreamLabel), so fixture runs are bit-comparable with
+// experiments runs of the same geometry.
+type MobileFixture struct {
+	Arena   MobileArena
+	Sched   *sim.Scheduler
+	M       *medium.Medium
+	Manager *mobility.Manager
+	Nodes   []mac.Node
+	Meters  []*stats.Meter
+}
+
+// mobileModel is the fixture channel: log-distance with mild shadowing,
+// so the mobility.Channel's per-epoch re-draws get exercised whenever
+// the spec sets a decorrelation distance.
+func mobileModel(seed uint64) *radio.LogDistance {
+	return &radio.LogDistance{
+		RefLossDB:     50,
+		Exponent:      3.0,
+		ShadowSigmaDB: 3,
+		Seed:          seed ^ 0x40b11e,
+	}
+}
+
+// NewMobileFixture builds the arena's medium, manager and one station
+// per node through the registry.
+func NewMobileFixture(armName string, a MobileArena, seed uint64, warmup, dur sim.Time) *MobileFixture {
+	arm := mac.MustLookup(armName)
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(seed)
+	var model radio.Model = mobileModel(seed)
+	var ch *mobility.Channel
+	if a.Spec.DecorrM > 0 {
+		ch = mobility.NewChannel(model, len(a.Pos))
+		model = ch
+	}
+	m := medium.New(sched, phy.DefaultParams(), model, a.Pos, rng.Stream(1))
+	mg := mobility.New(a.Spec, a.Rect, m, rng.Stream(mobility.StreamLabel), ch)
+	mg.Start()
+	f := &MobileFixture{Arena: a, Sched: sched, M: m, Manager: mg}
+	f.Nodes = make([]mac.Node, len(a.Pos))
+	for id := range a.Pos {
+		f.Nodes[id] = arm.New(id, m, rng.Stream(uint64(1000+id)), mac.Options{Rate: phy.Rate6Mbps})
+	}
+	for _, fl := range a.Flows {
+		mt := &stats.Meter{Start: warmup, End: dur}
+		f.Nodes[fl[1]].SetMeter(mt)
+		f.Meters = append(f.Meters, mt)
+	}
+	return f
+}
+
+// Saturate makes every flow's sender fully backlogged.
+func (f *MobileFixture) Saturate() {
+	for _, fl := range f.Arena.Flows {
+		f.Nodes[fl[0]].SetSaturated(fl[1])
+	}
+}
+
+// Run advances the fixture's virtual clock to the absolute time until.
+func (f *MobileFixture) Run(until sim.Time) { f.Sched.Run(until) }
+
+// Goodputs returns each flow's measured goodput in Mb/s.
+func (f *MobileFixture) Goodputs() []float64 {
+	out := make([]float64, len(f.Meters))
+	for i, m := range f.Meters {
+		out[i] = m.Mbps()
+	}
+	return out
+}
+
+// RunMobileSaturated is the one-call happy path: build, saturate, run,
+// return per-flow goodputs.
+func RunMobileSaturated(armName string, a MobileArena, seed uint64, warmup, dur sim.Time) []float64 {
+	f := NewMobileFixture(armName, a, seed, warmup, dur)
+	f.Saturate()
+	f.Run(dur)
+	return f.Goodputs()
+}

@@ -16,11 +16,9 @@ import (
 // power. Delivery lists are the medium's ground truth — Transmit fans
 // out over them, the analytic extractor reads them back through GainMW,
 // and the sharded engine partitions them — so they are built in exactly
-// one place, here.
-type Delivery struct {
-	Dst    int
-	GainMW float64
-}
+// one place, here. The struct itself lives in phy so an in-flight
+// Transmission can snapshot its list without an import cycle.
+type Delivery = phy.Delivery
 
 // BuildDeliveries computes, for every node, the receivers that hear it
 // above the delivery floor, in ascending receiver order, with the power

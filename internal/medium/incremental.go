@@ -1,0 +1,200 @@
+package medium
+
+import (
+	"cmp"
+	"math"
+	"slices"
+
+	"repro/internal/geo"
+	"repro/internal/radio"
+)
+
+// Incremental delivery-list maintenance for mobile nodes. MoveNode
+// relocates one node and patches only the lists the move can change —
+// O(k) per move through the spatial grid instead of the O(n·k) full
+// rebuild — while staying bit-identical to BuildDeliveries over the
+// final positions: every kept entry is the same pure float computation
+// (DBmToMW(TxPowerDBm − model.Loss(...)) ≥ floor), membership uses the
+// same predicate, and lists stay in ascending receiver order with the
+// same nil-when-empty convention. TestIncrementalMatchesRebuild and
+// FuzzDeliveryPatch pin that equivalence against both the sparse and
+// the dense oracle.
+//
+// Patches are copy-on-write: a patched list is a fresh slice, never a
+// mutation of the old backing array, because in-flight transmissions
+// hold transmit-time snapshots of the lists they fanned out over (see
+// Transmit / finishTransmission).
+
+// mover is the lazily-built incremental-update state.
+type mover struct {
+	// grid tracks current positions when the model bounds its range;
+	// nil means the model is unbounded and patches scan all nodes.
+	grid     *geo.Grid
+	maxRange float64
+	cand     []int // scratch candidate buffer, reused across moves
+}
+
+func (m *Medium) ensureMover() *mover {
+	if m.mv != nil {
+		return m.mv
+	}
+	mv := &mover{maxRange: math.Inf(1)}
+	if rb, ok := m.model.(radio.RangeBounder); ok {
+		mv.maxRange = rb.MaxRange(m.params.TxPowerDBm - m.params.DeliveryFloorDBm)
+	}
+	// Same usability test as BuildDeliveries: a non-positive or
+	// non-finite bound means every pair must be considered.
+	if mv.maxRange > 0 && !math.IsInf(mv.maxRange, 1) && !math.IsNaN(mv.maxRange) {
+		// The grid gets its own copy of the positions: Move mutates the
+		// stored slice, and m.positions stays authoritative.
+		mv.grid = geo.NewGrid(append([]geo.Point(nil), m.positions...), mv.maxRange)
+	} else {
+		mv.maxRange = math.Inf(1)
+		mv.grid = nil
+	}
+	m.mv = mv
+	return mv
+}
+
+// MoveNode relocates node i to p and patches the delivery lists so they
+// equal what a from-scratch build over the updated positions would
+// produce. Zero-length moves are valid (the recompute is idempotent).
+// Models whose Loss depends on per-node state that changed without a
+// position change (the mobility channel's shadowing epochs) are
+// refreshed by the same call: every list entry involving i is
+// recomputed from the live model.
+func (m *Medium) MoveNode(i int, p geo.Point) {
+	mv := m.ensureMover()
+	old := m.deliveries[i]
+	m.positions[i] = p
+	if mv.grid != nil {
+		mv.grid.Move(i, p)
+		m.moveGridPatch(mv, i, old)
+	} else {
+		m.moveDensePatch(i)
+	}
+}
+
+// moveGridPatch rebuilds node i's own list from the grid and re-patches
+// every list whose entry for i could have changed. Loss models behind a
+// range bound are reciprocal, so "j heard i before the move" is exactly
+// the destination set of i's old list; "j may hear i after" is the grid
+// candidate set. The union covers every affected list.
+func (m *Medium) moveGridPatch(mv *mover, i int, old []Delivery) {
+	buf := mv.cand[:0]
+	mv.grid.Within(i, mv.maxRange, func(b int) { buf = append(buf, b) })
+	slices.Sort(buf)
+	var list []Delivery
+	if len(buf) > 0 {
+		// Pre-size from the candidate count, exactly like the
+		// BuildDeliveries fill loop.
+		list = make([]Delivery, 0, len(buf))
+		for _, b := range buf {
+			if g := m.gain(i, b); g >= m.floorMW {
+				list = append(list, Delivery{Dst: b, GainMW: g})
+			}
+		}
+		if len(list) == 0 {
+			list = nil
+		}
+	}
+	m.deliveries[i] = list
+	// Merge-walk the two ascending destination streams so each affected
+	// list is patched exactly once.
+	oi, bi := 0, 0
+	for oi < len(old) || bi < len(buf) {
+		var j int
+		switch {
+		case oi >= len(old):
+			j = buf[bi]
+			bi++
+		case bi >= len(buf):
+			j = old[oi].Dst
+			oi++
+		case old[oi].Dst < buf[bi]:
+			j = old[oi].Dst
+			oi++
+		case old[oi].Dst > buf[bi]:
+			j = buf[bi]
+			bi++
+		default:
+			j = buf[bi]
+			oi++
+			bi++
+		}
+		m.patchEntry(j, i)
+	}
+	mv.cand = buf
+}
+
+// moveDensePatch is the unbounded-model fallback: recompute row i (who
+// hears i) from scratch and re-evaluate entry i in every other list —
+// O(n) per move, mirroring denseDeliveries' per-pair computation.
+func (m *Medium) moveDensePatch(i int) {
+	n := len(m.positions)
+	var list []Delivery
+	for b := 0; b < n; b++ {
+		if b == i {
+			continue
+		}
+		if g := m.gain(i, b); g >= m.floorMW {
+			list = append(list, Delivery{Dst: b, GainMW: g})
+		}
+	}
+	m.deliveries[i] = list
+	for j := 0; j < n; j++ {
+		m.patchEntry(j, i)
+	}
+}
+
+// patchEntry recomputes list j's entry for destination i — insert,
+// update, or remove, copy-on-write, preserving ascending order and the
+// nil-when-empty convention. The gain is computed in the j→i direction,
+// the same direction a full rebuild uses for list j.
+func (m *Medium) patchEntry(j, i int) {
+	if j == i {
+		return
+	}
+	list := m.deliveries[j]
+	k, ok := slices.BinarySearchFunc(list, i, func(d Delivery, dst int) int {
+		return cmp.Compare(d.Dst, dst)
+	})
+	g := m.gain(j, i)
+	audible := g >= m.floorMW
+	switch {
+	case ok && audible:
+		if math.Float64bits(list[k].GainMW) == math.Float64bits(g) {
+			return // unchanged — keep the shared backing array intact
+		}
+		nl := append([]Delivery(nil), list...)
+		nl[k].GainMW = g
+		m.deliveries[j] = nl
+	case ok && !audible:
+		if len(list) == 1 {
+			m.deliveries[j] = nil
+			return
+		}
+		nl := make([]Delivery, 0, len(list)-1)
+		nl = append(nl, list[:k]...)
+		nl = append(nl, list[k+1:]...)
+		m.deliveries[j] = nl
+	case !ok && audible:
+		nl := make([]Delivery, 0, len(list)+1)
+		nl = append(nl, list[:k]...)
+		nl = append(nl, Delivery{Dst: i, GainMW: g})
+		nl = append(nl, list[k:]...)
+		m.deliveries[j] = nl
+	}
+}
+
+// RebuildDeliveries replaces the delivery lists with a from-scratch
+// build over the current positions. It exists for the equivalence tier
+// and benchmarks — the oracle the incremental path is measured against.
+func (m *Medium) RebuildDeliveries() {
+	m.deliveries, m.gridBacked = BuildDeliveries(m.params, m.model, m.positions, 1)
+}
+
+// DeliveryList returns node i's live delivery list. The slice is shared
+// with the medium — callers must not mutate it. Equivalence tests use
+// it to compare incremental patches against oracle rebuilds.
+func (m *Medium) DeliveryList(i int) []Delivery { return m.deliveries[i] }

@@ -1,0 +1,151 @@
+package medium
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/phy"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// scatter places n nodes uniformly in the arena from a dedicated stream.
+func scatter(n int, arena geo.Rect, rng *sim.RNG) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{
+			X: arena.MinX + rng.Float64()*arena.Width(),
+			Y: arena.MinY + rng.Float64()*arena.Height(),
+		}
+	}
+	return pts
+}
+
+// requireListsEqual asserts every delivery list matches the oracle
+// bit-exactly: same membership, same order, same IEEE-754 gain bits,
+// same nil-when-empty convention.
+func requireListsEqual(t *testing.T, label string, got, want [][]Delivery) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d lists vs oracle %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if (got[i] == nil) != (want[i] == nil) {
+			t.Fatalf("%s: node %d nil-ness %v vs oracle %v (len %d vs %d)",
+				label, i, got[i] == nil, want[i] == nil, len(got[i]), len(want[i]))
+		}
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: node %d has %d deliveries, oracle %d", label, i, len(got[i]), len(want[i]))
+		}
+		for k := range want[i] {
+			g, w := got[i][k], want[i][k]
+			if g.Dst != w.Dst || math.Float64bits(g.GainMW) != math.Float64bits(w.GainMW) {
+				t.Fatalf("%s: node %d entry %d = {%d, %x}, oracle {%d, %x}",
+					label, i, k, g.Dst, math.Float64bits(g.GainMW), w.Dst, math.Float64bits(w.GainMW))
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesRebuild drives each mobility model over a
+// log-distance testbed (with shadowing re-draws) and proves, after
+// every movement epoch, that the incrementally patched delivery lists
+// are bit-identical to a from-scratch sparse build AND to the dense
+// O(n²) reference over the same final positions and shadowing epochs.
+func TestIncrementalMatchesRebuild(t *testing.T) {
+	arena := geo.Rect{MinX: 0, MinY: 0, MaxX: 120, MaxY: 80}
+	specs := []mobility.Spec{
+		{Kind: mobility.Waypoint, SpeedMps: 12, DecorrM: 15},
+		{Kind: mobility.RandomWalk, SpeedMps: 8, DecorrM: 15},
+		{Kind: mobility.Vehicular, SpeedMps: 25}, // lane wrap = long jumps
+	}
+	for _, spec := range specs {
+		t.Run(spec.Kind.String(), func(t *testing.T) {
+			params := phy.DefaultParams()
+			inner := &radio.LogDistance{RefLossDB: 50, Exponent: 3.0, ShadowSigmaDB: 4, Seed: 0xd15c0}
+			rng := sim.NewRNG(42)
+			pts := scatter(60, arena, rng.Stream(7))
+			ch := mobility.NewChannel(inner, len(pts))
+			sched := sim.NewScheduler()
+			m := NewWithWorkers(sched, params, ch, pts, rng.Stream(1), 1)
+			mg := mobility.New(spec, arena, m, rng.Stream(mobility.StreamLabel), ch)
+			mg.Start()
+			for epoch := 0; epoch < 30; epoch++ {
+				if !sched.Step() {
+					t.Fatal("scheduler drained early")
+				}
+				sparse, gridBacked := BuildDeliveries(params, ch, m.positions, 1)
+				if !gridBacked {
+					t.Fatal("expected the grid construction path")
+				}
+				requireListsEqual(t, "sparse oracle", m.deliveries, sparse)
+				requireListsEqual(t, "dense oracle", m.deliveries, denseDeliveries(params, ch, m.positions))
+			}
+			if mg.Epochs != 30 {
+				t.Fatalf("manager applied %d epochs, want 30", mg.Epochs)
+			}
+		})
+	}
+}
+
+// TestIncrementalDensePath covers the unbounded-model fallback: a loss
+// matrix has no range bound, so MoveNode must patch by full-row scan —
+// here movement cannot change gains (the matrix ignores positions), so
+// the patch must leave the lists exactly as built.
+func TestIncrementalDensePath(t *testing.T) {
+	params := phy.DefaultParams()
+	n := 6
+	mx := &radio.Matrix{LossDB: make([][]float64, n)}
+	rng := sim.NewRNG(9)
+	for a := 0; a < n; a++ {
+		mx.LossDB[a] = make([]float64, n)
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			// Mix audible and inaudible links around the delivery floor.
+			l := 55 + 60*rng.Float64()
+			mx.LossDB[a][b], mx.LossDB[b][a] = l, l
+		}
+	}
+	pts := make([]geo.Point, n)
+	sched := sim.NewScheduler()
+	m := New(sched, params, mx, pts, sim.NewRNG(1))
+	want := denseDeliveries(params, mx, pts)
+	for i := 0; i < n; i++ {
+		m.MoveNode(i, geo.Point{X: float64(i), Y: 2})
+	}
+	if m.mv.grid != nil {
+		t.Fatal("matrix model must take the dense patch path")
+	}
+	requireListsEqual(t, "dense patch", m.deliveries, want)
+}
+
+// TestMoveNodePreservesInFlightFanout pins the snapshot invariant: a
+// transmission that started before a move must deliver SignalEnd to the
+// same receiver set SignalStart reached, even if the move pushed the
+// receiver off the live delivery list mid-frame.
+func TestMoveNodePreservesInFlightFanout(t *testing.T) {
+	params := phy.DefaultParams()
+	model := &radio.LogDistance{RefLossDB: 50, Exponent: 3.5}
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}}
+	sched := sim.NewScheduler()
+	m := New(sched, params, model, pts, sim.NewRNG(3))
+	if len(m.deliveries[0]) != 1 {
+		t.Fatalf("want an audible pair, got %d deliveries", len(m.deliveries[0]))
+	}
+	snapshot := m.deliveries[0]
+	tx := m.acquireTx()
+	*tx = phy.Transmission{TxID: 1, From: 0, Deliveries: m.deliveries[0]}
+	// Move the receiver far out of range: the live list empties...
+	m.MoveNode(1, geo.Point{X: 1e6, Y: 0})
+	if len(m.deliveries[0]) != 0 {
+		t.Fatalf("live list should be empty after the move, has %d", len(m.deliveries[0]))
+	}
+	// ...but the snapshot still names the original receiver set.
+	if len(tx.Deliveries) != 1 || tx.Deliveries[0].Dst != snapshot[0].Dst ||
+		math.Float64bits(tx.Deliveries[0].GainMW) != math.Float64bits(snapshot[0].GainMW) {
+		t.Fatal("transmit-time snapshot was disturbed by MoveNode")
+	}
+}

@@ -39,6 +39,11 @@ type Medium struct {
 	nextTxID uint64
 	// Transmissions counts frames put on the air, for diagnostics.
 	Transmissions uint64
+
+	// mv holds the incremental-update machinery (spatial grid, scratch
+	// buffers); built lazily on the first MoveNode so static runs pay
+	// nothing for it.
+	mv *mover
 }
 
 // New builds a medium over the given node positions. Each node gets a
@@ -201,14 +206,16 @@ func (m *Medium) HandleEvent(arg any) {
 }
 
 // finishTransmission delivers SignalEnd to every receiver of tx in the
-// same ascending order SignalStart used, then recycles tx. Delivery
-// lists are immutable after construction, so the walk is safe against
-// anything a MAC upcall does.
+// same ascending order SignalStart used, then recycles tx. The walk is
+// over the transmit-time snapshot, not the live list: MoveNode patches
+// lists copy-on-write, so the snapshot keeps SignalStart and SignalEnd
+// pinned to one receiver set even while nodes move mid-frame.
 func (m *Medium) finishTransmission(tx *phy.Transmission) {
-	for _, d := range m.deliveries[tx.From] {
+	for _, d := range tx.Deliveries {
 		m.radios[d.Dst].SignalEnd(tx)
 	}
-	tx.Frame = nil // do not retain the MAC's frame past the air interval
+	tx.Frame = nil      // do not retain the MAC's frame past the air interval
+	tx.Deliveries = nil // nor the delivery snapshot
 	m.txFree = append(m.txFree, tx)
 }
 
@@ -234,8 +241,12 @@ func (m *Medium) Transmit(from *phy.Radio, f frame.Frame, r phy.Rate) sim.Time {
 		Rate:  r,
 		Start: now,
 		End:   end,
+		// Snapshot the delivery list (a slice header copy, no
+		// allocation): the end fan-out must reach exactly this set even
+		// if MoveNode patches the live list mid-frame.
+		Deliveries: m.deliveries[src],
 	}
-	for _, d := range m.deliveries[src] {
+	for _, d := range tx.Deliveries {
 		m.radios[d.Dst].SignalStart(tx, d.GainMW)
 	}
 	// Signal-end fan-out first, then the sender's tx-done: at equal

@@ -1,0 +1,83 @@
+package mobility
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// Channel wraps a radio model to give per-pair shadowing a time axis.
+// Each node carries a shadowing epoch counter; the Manager bumps it
+// every DecorrM metres of travel. A pair's shadowing is re-drawn by
+// mixing both endpoints' epochs into the inner LogDistance seed, so it
+// stays deterministic (a pure function of seed, pair, and epochs),
+// reciprocal (epochs are combined in node-id order), and bounded by the
+// same ±MaxShadowSigmas truncation MaxRange already budgets for. While
+// both epochs are zero the inner model is consulted untouched, so a
+// wrapped static run is bit-identical to an unwrapped one. Inner models
+// without shadowing (FreeSpace, Matrix) pass through unchanged.
+//
+// A Channel belongs to one run: the Manager bumps epochs only
+// immediately before repatching the moved node's delivery lists, which
+// keeps the lists and the model consistent at every event.
+type Channel struct {
+	inner  radio.Model
+	epochs []uint32
+}
+
+// NewChannel wraps inner for n nodes, all epochs zero.
+func NewChannel(inner radio.Model, n int) *Channel {
+	return &Channel{inner: inner, epochs: make([]uint32, n)}
+}
+
+// Bump advances node i's shadowing epoch.
+func (c *Channel) Bump(i int) { c.epochs[i]++ }
+
+// Epoch returns node i's shadowing epoch.
+func (c *Channel) Epoch(i int) uint32 { return c.epochs[i] }
+
+// Epochs returns a copy of all shadowing epochs (checkpoint export).
+func (c *Channel) Epochs() []uint32 { return append([]uint32(nil), c.epochs...) }
+
+// SetEpochs overwrites all shadowing epochs (checkpoint restore).
+func (c *Channel) SetEpochs(e []uint32) {
+	copy(c.epochs, e)
+	for i := len(e); i < len(c.epochs); i++ {
+		c.epochs[i] = 0
+	}
+}
+
+// Loss implements radio.Model.
+func (c *Channel) Loss(a int, pa geo.Point, b int, pb geo.Point) float64 {
+	ea, eb := c.epochs[a], c.epochs[b]
+	if ea == 0 && eb == 0 {
+		return c.inner.Loss(a, pa, b, pb)
+	}
+	ld, ok := c.inner.(*radio.LogDistance)
+	if !ok || ld.ShadowSigmaDB <= 0 {
+		return c.inner.Loss(a, pa, b, pb)
+	}
+	// Re-seed a copy of the inner model with the pair's epochs mixed in
+	// node-id order, so Loss(a,b) == Loss(b,a) at any epoch pair.
+	elo, ehi := ea, eb
+	if b < a {
+		elo, ehi = eb, ea
+	}
+	re := *ld
+	re.Seed = ld.Seed ^ sim.HashPair(uint64(elo)+1, uint64(ehi)+1)
+	return re.Loss(a, pa, b, pb)
+}
+
+// MaxRange implements radio.RangeBounder by forwarding to the inner
+// model; re-drawn shadowing has the same truncated distribution, so the
+// inner headroom bound still holds. An inner model without a bound
+// yields +Inf, which sends the medium down the dense path — exactly the
+// treatment the unwrapped model would get.
+func (c *Channel) MaxRange(maxLossDB float64) float64 {
+	if rb, ok := c.inner.(radio.RangeBounder); ok {
+		return rb.MaxRange(maxLossDB)
+	}
+	return math.Inf(1)
+}

@@ -1,0 +1,228 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/sim"
+)
+
+// StreamLabel is the conventional label for the manager's root RNG
+// stream off a run's seed RNG, alongside the medium's stream 1, node
+// streams 1000+id, and source streams 5000+i. Per-node movement streams
+// are derived from that root by node index, so trajectories depend only
+// on (seed, node id), never on event interleaving.
+const StreamLabel = 0x6d0b
+
+// Mover is the medium surface the manager drives: current positions in,
+// position epochs out through the incremental patch path.
+type Mover interface {
+	NodeCount() int
+	Position(i int) geo.Point
+	MoveNode(i int, p geo.Point)
+	Scheduler() *sim.Scheduler
+}
+
+// nodeState is one node's movement state. Every field is exported into
+// the checkpoint envelope — trajectories must continue bit-exactly
+// across a resume.
+type nodeState struct {
+	rng    *sim.RNG
+	home   geo.Point // initial position, centre of the roam disk
+	target geo.Point // waypoint: current destination
+	vx, vy float64   // walk/vehicular: velocity in m/s
+	until  sim.Time  // walk: when the current heading expires
+	trav   float64   // metres travelled since the last shadow re-draw
+}
+
+// Manager owns the movement state of every node and applies one
+// position epoch per Spec.Epoch through the medium's MoveNode. It is a
+// sim.EventHandler; Start posts the first epoch and each epoch re-posts
+// the next.
+type Manager struct {
+	spec  Spec
+	arena geo.Rect
+	med   Mover
+	ch    *Channel // optional shadowing channel; nil disables re-draws
+	nodes []nodeState
+	epoch sim.Time
+	// Epochs counts applied position epochs, for diagnostics.
+	Epochs uint64
+}
+
+// New builds a manager over med. rng must be a dedicated stream of the
+// run's root RNG (conventionally rng.Stream(StreamLabel)); ch may be
+// nil when spec.DecorrM is zero. Initial headings and waypoint targets
+// are drawn here, in node order, so construction is deterministic.
+func New(spec Spec, arena geo.Rect, med Mover, rng *sim.RNG, ch *Channel) *Manager {
+	if spec.Epoch <= 0 {
+		spec.Epoch = DefaultEpoch
+	}
+	mg := &Manager{spec: spec, arena: arena, med: med, ch: ch, epoch: spec.Epoch}
+	n := med.NodeCount()
+	mg.nodes = make([]nodeState, n)
+	for i := 0; i < n; i++ {
+		st := &mg.nodes[i]
+		st.rng = rng.Stream(uint64(i))
+		st.home = med.Position(i)
+		switch spec.Kind {
+		case Waypoint:
+			st.target = mg.pickTarget(st)
+		case Vehicular:
+			// Lane flow: keep Y, drive ±X at a per-node jittered speed.
+			dir := 1.0
+			if st.rng.Float64() < 0.5 {
+				dir = -1
+			}
+			st.vx = dir * spec.SpeedMps * (0.8 + 0.4*st.rng.Float64())
+		}
+	}
+	return mg
+}
+
+// Spec returns the movement spec the manager runs.
+func (mg *Manager) Spec() Spec { return mg.spec }
+
+// Start posts the first movement epoch. A non-active spec is a no-op.
+func (mg *Manager) Start() {
+	if !mg.spec.Active() {
+		return
+	}
+	mg.med.Scheduler().PostAfter(mg.epoch, mg, nil)
+}
+
+// HandleEvent implements sim.EventHandler: apply one position epoch and
+// re-post the next.
+func (mg *Manager) HandleEvent(arg any) {
+	if arg != nil {
+		panic(fmt.Sprintf("mobility: unexpected event arg %T", arg))
+	}
+	mg.step()
+	mg.med.Scheduler().PostAfter(mg.epoch, mg, nil)
+}
+
+// step advances every node by one epoch, in node order, bumping shadow
+// epochs as travel odometers cross the decorrelation distance and
+// pushing each changed position through the medium's incremental patch.
+func (mg *Manager) step() {
+	mg.Epochs++
+	now := mg.med.Scheduler().Now()
+	dt := float64(mg.epoch) / float64(sim.Second)
+	for i := range mg.nodes {
+		st := &mg.nodes[i]
+		old := mg.med.Position(i)
+		p := mg.advance(st, old, now, dt)
+		if p == old {
+			continue
+		}
+		if mg.ch != nil && mg.spec.DecorrM > 0 {
+			st.trav += old.Dist(p)
+			for st.trav >= mg.spec.DecorrM {
+				st.trav -= mg.spec.DecorrM
+				mg.ch.Bump(i)
+			}
+		}
+		mg.med.MoveNode(i, p)
+	}
+}
+
+// advance computes one node's next position without applying it.
+func (mg *Manager) advance(st *nodeState, old geo.Point, now sim.Time, dt float64) geo.Point {
+	step := mg.spec.SpeedMps * dt
+	switch mg.spec.Kind {
+	case Waypoint:
+		// Travel toward the target; on arrival land exactly on it and
+		// draw the next one (the residual step is forfeited — an epoch
+		// is short next to a leg, and exact landings keep the walk
+		// independent of epoch size at the waypoints themselves).
+		d := old.Dist(st.target)
+		if d <= step {
+			arrived := st.target
+			st.target = mg.pickTarget(st)
+			return arrived
+		}
+		return geo.Point{X: old.X + (st.target.X-old.X)/d*step, Y: old.Y + (st.target.Y-old.Y)/d*step}
+	case RandomWalk:
+		if now >= st.until || (st.vx == 0 && st.vy == 0) {
+			ang := st.rng.Float64() * 2 * math.Pi
+			st.vx = mg.spec.SpeedMps * math.Cos(ang)
+			st.vy = mg.spec.SpeedMps * math.Sin(ang)
+			st.until = now + sim.Time(float64(sim.Second)*(1+st.rng.Float64()))
+		}
+		p := geo.Point{X: old.X + st.vx*dt, Y: old.Y + st.vy*dt}
+		r := mg.roam(st)
+		if p.X < r.MinX {
+			p.X = 2*r.MinX - p.X
+			st.vx = -st.vx
+		} else if p.X > r.MaxX {
+			p.X = 2*r.MaxX - p.X
+			st.vx = -st.vx
+		}
+		if p.Y < r.MinY {
+			p.Y = 2*r.MinY - p.Y
+			st.vy = -st.vy
+		} else if p.Y > r.MaxY {
+			p.Y = 2*r.MaxY - p.Y
+			st.vy = -st.vy
+		}
+		return clamp(p, r) // a step longer than the region still lands inside
+	case Vehicular:
+		p := geo.Point{X: old.X + st.vx*dt, Y: old.Y}
+		if w := mg.arena.Width(); w > 0 {
+			for p.X > mg.arena.MaxX {
+				p.X -= w
+			}
+			for p.X < mg.arena.MinX {
+				p.X += w
+			}
+		}
+		return p
+	}
+	return old
+}
+
+// roam returns the node's movement region: the arena, or its
+// intersection with the RangeM square around home.
+func (mg *Manager) roam(st *nodeState) geo.Rect {
+	r := mg.arena
+	if mg.spec.RangeM > 0 {
+		r = geo.Rect{
+			MinX: math.Max(r.MinX, st.home.X-mg.spec.RangeM),
+			MinY: math.Max(r.MinY, st.home.Y-mg.spec.RangeM),
+			MaxX: math.Min(r.MaxX, st.home.X+mg.spec.RangeM),
+			MaxY: math.Min(r.MaxY, st.home.Y+mg.spec.RangeM),
+		}
+	}
+	if r.MaxX < r.MinX {
+		r.MinX, r.MaxX = st.home.X, st.home.X
+	}
+	if r.MaxY < r.MinY {
+		r.MinY, r.MaxY = st.home.Y, st.home.Y
+	}
+	return r
+}
+
+// pickTarget draws a uniform waypoint in the roam region — rejection
+// sampled against the RangeM disk, falling back to home if the disk and
+// arena barely intersect.
+func (mg *Manager) pickTarget(st *nodeState) geo.Point {
+	r := mg.roam(st)
+	for try := 0; try < 16; try++ {
+		p := geo.Point{
+			X: r.MinX + st.rng.Float64()*(r.MaxX-r.MinX),
+			Y: r.MinY + st.rng.Float64()*(r.MaxY-r.MinY),
+		}
+		if mg.spec.RangeM <= 0 || st.home.Dist(p) <= mg.spec.RangeM {
+			return p
+		}
+	}
+	return st.home
+}
+
+func clamp(p geo.Point, r geo.Rect) geo.Point {
+	return geo.Point{
+		X: math.Min(math.Max(p.X, r.MinX), r.MaxX),
+		Y: math.Min(math.Max(p.Y, r.MinY), r.MaxY),
+	}
+}

@@ -1,0 +1,329 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// fakeMover is a positions-only Mover: what the manager needs, nothing
+// of the medium. It records every MoveNode call.
+type fakeMover struct {
+	sched *sim.Scheduler
+	pos   []geo.Point
+	moves int
+}
+
+func newFakeMover(pos []geo.Point) *fakeMover {
+	return &fakeMover{sched: sim.NewScheduler(), pos: append([]geo.Point(nil), pos...)}
+}
+
+func (f *fakeMover) NodeCount() int            { return len(f.pos) }
+func (f *fakeMover) Position(i int) geo.Point  { return f.pos[i] }
+func (f *fakeMover) Scheduler() *sim.Scheduler { return f.sched }
+func (f *fakeMover) MoveNode(i int, p geo.Point) {
+	f.pos[i] = p
+	f.moves++
+}
+
+func scatterPts(n int, w, h float64, seed uint64) []geo.Point {
+	rng := sim.NewRNG(seed)
+	out := make([]geo.Point, n)
+	for i := range out {
+		out[i] = geo.Point{X: rng.Float64() * w, Y: rng.Float64() * h}
+	}
+	return out
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"", Spec{}},
+		{"none", Spec{}},
+		{"waypoint@3", Spec{Kind: Waypoint, SpeedMps: 3}},
+		{"walk@1.5", Spec{Kind: RandomWalk, SpeedMps: 1.5}},
+		{"vehicular@20", Spec{Kind: Vehicular, SpeedMps: 20}},
+		{"waypoint@3@15", Spec{Kind: Waypoint, SpeedMps: 3, RangeM: 15}},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		if c.in != "" && c.in != "none" {
+			back, err := ParseSpec(got.String())
+			if err != nil || back != got {
+				t.Fatalf("round trip %q -> %q -> %+v (%v)", c.in, got.String(), back, err)
+			}
+		}
+	}
+	for _, bad := range []string{"teleport@3", "waypoint", "walk@-1", "walk@x", "waypoint@3@-2", "waypoint@3@q", "waypoint@3@4@5"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) succeeded, want error", bad)
+		}
+	}
+	if s := (Spec{}).String(); s != "none" {
+		t.Fatalf("zero spec renders %q, want none", s)
+	}
+	if s := (Spec{Kind: Kind(99)}).Kind.String(); s != "kind(99)" {
+		t.Fatalf("unknown kind renders %q", s)
+	}
+}
+
+func TestSpecActive(t *testing.T) {
+	if (Spec{}).Active() {
+		t.Fatal("zero spec is active")
+	}
+	if (Spec{Kind: Waypoint}).Active() {
+		t.Fatal("zero-speed spec is active")
+	}
+	if !(Spec{Kind: Waypoint, SpeedMps: 1}).Active() {
+		t.Fatal("waypoint@1 is not active")
+	}
+}
+
+// run drives the mover's scheduler through n movement epochs.
+func run(mg *Manager, f *fakeMover, n int) {
+	f.sched.Run(f.sched.Now() + sim.Time(n)*mg.Spec().Epoch)
+}
+
+func TestWaypointStaysInRoamDisk(t *testing.T) {
+	arena := geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 60}
+	f := newFakeMover(scatterPts(20, 100, 60, 1))
+	home := append([]geo.Point(nil), f.pos...)
+	spec := Spec{Kind: Waypoint, SpeedMps: 8, RangeM: 10}
+	mg := New(spec, arena, f, sim.NewRNG(2).Stream(StreamLabel), nil)
+	mg.Start()
+	for e := 0; e < 50; e++ {
+		run(mg, f, 1)
+		for i, p := range f.pos {
+			if d := home[i].Dist(p); d > spec.RangeM+1e-9 {
+				t.Fatalf("epoch %d node %d strayed %.2f m from home (roam %g)", e, i, d, spec.RangeM)
+			}
+			if p.X < arena.MinX || p.X > arena.MaxX || p.Y < arena.MinY || p.Y > arena.MaxY {
+				t.Fatalf("node %d left the arena: %+v", i, p)
+			}
+		}
+	}
+	if mg.Epochs != 50 {
+		t.Fatalf("manager applied %d epochs, want 50", mg.Epochs)
+	}
+	if f.moves == 0 {
+		t.Fatal("no node ever moved")
+	}
+}
+
+func TestRandomWalkStaysInRoamRect(t *testing.T) {
+	arena := geo.Rect{MinX: 0, MinY: 0, MaxX: 80, MaxY: 40}
+	f := newFakeMover(scatterPts(15, 80, 40, 3))
+	home := append([]geo.Point(nil), f.pos...)
+	spec := Spec{Kind: RandomWalk, SpeedMps: 3, RangeM: 6}
+	mg := New(spec, arena, f, sim.NewRNG(4).Stream(StreamLabel), nil)
+	mg.Start()
+	run(mg, f, 100)
+	for i, p := range f.pos {
+		if math.Abs(p.X-home[i].X) > spec.RangeM+1e-9 || math.Abs(p.Y-home[i].Y) > spec.RangeM+1e-9 {
+			t.Fatalf("node %d strayed to %+v from home %+v (roam %g)", i, p, home[i], spec.RangeM)
+		}
+	}
+	if f.moves == 0 {
+		t.Fatal("no node ever moved")
+	}
+}
+
+func TestVehicularKeepsLaneAndWraps(t *testing.T) {
+	arena := geo.Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 30}
+	f := newFakeMover([]geo.Point{{X: 48, Y: 10}, {X: 2, Y: 20}})
+	spec := Spec{Kind: Vehicular, SpeedMps: 25}
+	mg := New(spec, arena, f, sim.NewRNG(5).Stream(StreamLabel), nil)
+	mg.Start()
+	run(mg, f, 40) // 4 s at ≥20 m/s crosses the 50 m arena, forcing wraps
+	for i, p := range f.pos {
+		if p.Y != [2]float64{10, 20}[i] {
+			t.Fatalf("node %d changed lane: %+v", i, p)
+		}
+		if p.X < arena.MinX || p.X > arena.MaxX {
+			t.Fatalf("node %d failed to wrap: %+v", i, p)
+		}
+	}
+}
+
+func TestTrajectoriesDeterministic(t *testing.T) {
+	arena := geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 60}
+	for _, spec := range []Spec{
+		{Kind: Waypoint, SpeedMps: 5, RangeM: 12},
+		{Kind: RandomWalk, SpeedMps: 2},
+		{Kind: Vehicular, SpeedMps: 15},
+	} {
+		mk := func() *fakeMover {
+			f := newFakeMover(scatterPts(12, 100, 60, 7))
+			mg := New(spec, arena, f, sim.NewRNG(9).Stream(StreamLabel), nil)
+			mg.Start()
+			run(mg, f, 30)
+			return f
+		}
+		a, b := mk(), mk()
+		for i := range a.pos {
+			if a.pos[i] != b.pos[i] {
+				t.Fatalf("%s node %d: same seed diverged: %+v vs %+v", spec, i, a.pos[i], b.pos[i])
+			}
+		}
+	}
+}
+
+func TestInactiveSpecNeverMoves(t *testing.T) {
+	f := newFakeMover(scatterPts(5, 50, 50, 11))
+	mg := New(Spec{}, geo.Rect{MaxX: 50, MaxY: 50}, f, sim.NewRNG(1).Stream(StreamLabel), nil)
+	mg.Start()
+	f.sched.Run(5 * sim.Second)
+	if f.moves != 0 || mg.Epochs != 0 {
+		t.Fatalf("static spec moved nodes: %d moves, %d epochs", f.moves, mg.Epochs)
+	}
+}
+
+func TestHandleEventRejectsArgs(t *testing.T) {
+	f := newFakeMover(scatterPts(2, 10, 10, 1))
+	mg := New(Spec{Kind: Waypoint, SpeedMps: 1}, geo.Rect{MaxX: 10, MaxY: 10}, f, sim.NewRNG(1).Stream(StreamLabel), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HandleEvent accepted a non-nil arg")
+		}
+	}()
+	mg.HandleEvent("bogus")
+}
+
+func TestChannelStaticPassthrough(t *testing.T) {
+	inner := &radio.LogDistance{RefLossDB: 50, Exponent: 3, ShadowSigmaDB: 4, Seed: 77}
+	ch := NewChannel(inner, 4)
+	a, b := geo.Point{X: 0, Y: 0}, geo.Point{X: 10, Y: 0}
+	if got, want := ch.Loss(0, a, 1, b), inner.Loss(0, a, 1, b); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("zero-epoch Loss %v != inner %v", got, want)
+	}
+	if got, want := ch.MaxRange(130), inner.MaxRange(130); got != want {
+		t.Fatalf("MaxRange %v != inner %v", got, want)
+	}
+}
+
+func TestChannelEpochRedrawAndReciprocity(t *testing.T) {
+	inner := &radio.LogDistance{RefLossDB: 50, Exponent: 3, ShadowSigmaDB: 4, Seed: 77}
+	ch := NewChannel(inner, 4)
+	a, b := geo.Point{X: 0, Y: 0}, geo.Point{X: 10, Y: 0}
+	base := ch.Loss(0, a, 1, b)
+	ch.Bump(0)
+	if ch.Epoch(0) != 1 {
+		t.Fatalf("epoch after one bump = %d", ch.Epoch(0))
+	}
+	redrawn := ch.Loss(0, a, 1, b)
+	if math.Float64bits(redrawn) == math.Float64bits(base) {
+		t.Fatal("bumping an endpoint epoch did not re-draw shadowing")
+	}
+	if x, y := ch.Loss(0, a, 1, b), ch.Loss(1, b, 0, a); math.Float64bits(x) != math.Float64bits(y) {
+		t.Fatalf("re-drawn loss not reciprocal: %v vs %v", x, y)
+	}
+	// The re-draw is a pure function of the epoch pair: same epochs,
+	// same loss.
+	if again := ch.Loss(0, a, 1, b); math.Float64bits(again) != math.Float64bits(redrawn) {
+		t.Fatalf("same epochs re-drew differently: %v vs %v", again, redrawn)
+	}
+}
+
+func TestChannelNonShadowedPassthrough(t *testing.T) {
+	inner := &radio.Matrix{LossDB: [][]float64{{0, 70}, {70, 0}}}
+	ch := NewChannel(inner, 2)
+	ch.Bump(0)
+	a, b := geo.Point{}, geo.Point{X: 5}
+	if got, want := ch.Loss(0, a, 1, b), inner.Loss(0, a, 1, b); got != want {
+		t.Fatalf("Matrix inner not passed through: %v vs %v", got, want)
+	}
+	if !math.IsInf(ch.MaxRange(130), 1) {
+		t.Fatal("unbounded inner should yield +Inf MaxRange")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	arena := geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 60}
+	start := scatterPts(10, 100, 60, 13)
+	for _, spec := range []Spec{
+		{Kind: Waypoint, SpeedMps: 6, RangeM: 12, DecorrM: 5},
+		{Kind: RandomWalk, SpeedMps: 2, DecorrM: 5},
+		{Kind: Vehicular, SpeedMps: 15, DecorrM: 5},
+	} {
+		mkc := func() (*fakeMover, *Manager, *Channel) {
+			f := newFakeMover(start)
+			ch := NewChannel(&radio.LogDistance{RefLossDB: 50, Exponent: 3, ShadowSigmaDB: 4, Seed: 5}, len(start))
+			mg := New(spec, arena, f, sim.NewRNG(21).Stream(StreamLabel), ch)
+			mg.Start()
+			return f, mg, ch
+		}
+		fa, mga, cha := mkc()
+		run(mga, fa, 20)
+		st := mga.ExportState()
+
+		// Fresh skeleton, restored mid-run state, then both continue.
+		fb, mgb, chb := mkc()
+		fb.sched.Run(fa.sched.Now()) // advance the clock past the restored epochs
+		if err := mgb.RestoreState(st); err != nil {
+			t.Fatalf("%s: restore: %v", spec, err)
+		}
+		for i := range fa.pos {
+			if fa.pos[i] != fb.pos[i] {
+				t.Fatalf("%s: restored position %d = %+v, want %+v", spec, i, fb.pos[i], fa.pos[i])
+			}
+		}
+		run(mga, fa, 20)
+		run(mgb, fb, 20)
+		for i := range fa.pos {
+			if fa.pos[i] != fb.pos[i] {
+				t.Fatalf("%s node %d: resumed trajectory diverged: %+v vs %+v", spec, i, fb.pos[i], fa.pos[i])
+			}
+			if cha.Epoch(i) != chb.Epoch(i) {
+				t.Fatalf("%s node %d: shadow epoch diverged: %d vs %d", spec, i, chb.Epoch(i), cha.Epoch(i))
+			}
+		}
+		if mga.Epochs != mgb.Epochs {
+			t.Fatalf("%s: epoch counters diverged: %d vs %d", spec, mga.Epochs, mgb.Epochs)
+		}
+	}
+}
+
+func TestRestoreStateRejectsMismatch(t *testing.T) {
+	f := newFakeMover(scatterPts(4, 50, 50, 1))
+	mg := New(Spec{Kind: Waypoint, SpeedMps: 1}, geo.Rect{MaxX: 50, MaxY: 50}, f, sim.NewRNG(1).Stream(StreamLabel), nil)
+	if err := mg.RestoreState(State{Nodes: make([]NodeState, 2)}); err == nil {
+		t.Fatal("restore with wrong node count succeeded")
+	}
+	ch := NewChannel(&radio.LogDistance{RefLossDB: 50, Exponent: 3, ShadowSigmaDB: 4, Seed: 5}, 4)
+	mg2 := New(Spec{Kind: Waypoint, SpeedMps: 1, DecorrM: 5}, geo.Rect{MaxX: 50, MaxY: 50}, newFakeMover(scatterPts(4, 50, 50, 1)), sim.NewRNG(1).Stream(StreamLabel), ch)
+	if err := mg2.RestoreState(State{Nodes: make([]NodeState, 4), Shadow: []uint32{1}}); err == nil {
+		t.Fatal("restore with wrong shadow length succeeded")
+	}
+}
+
+func TestEventArgCodec(t *testing.T) {
+	f := newFakeMover(scatterPts(2, 10, 10, 1))
+	mg := New(Spec{Kind: Waypoint, SpeedMps: 1}, geo.Rect{MaxX: 10, MaxY: 10}, f, sim.NewRNG(1).Stream(StreamLabel), nil)
+	enc, err := mg.EncodeEventArg(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arg, err := mg.DecodeEventArg(enc); err != nil || arg != nil {
+		t.Fatalf("decode(nil) = %v, %v", arg, err)
+	}
+	if arg, err := mg.DecodeEventArg([]byte("null")); err != nil || arg != nil {
+		t.Fatalf("decode(null) = %v, %v", arg, err)
+	}
+	if _, err := mg.EncodeEventArg(42); err == nil {
+		t.Fatal("encode of a non-nil arg succeeded")
+	}
+	if _, err := mg.DecodeEventArg([]byte(`{"x":1}`)); err == nil {
+		t.Fatal("decode of a non-null payload succeeded")
+	}
+}

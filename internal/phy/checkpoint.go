@@ -28,6 +28,11 @@ type TxState struct {
 	Rate  RateID          `json:"rate"`
 	Start sim.Time        `json:"start"`
 	End   sim.Time        `json:"end"`
+	// Deliveries is the transmit-time delivery snapshot. It travels in
+	// the checkpoint so a resume under mobility fans SignalEnd out to
+	// the same receiver set the interrupted run's SignalStart reached,
+	// even if delivery lists were patched after the frame went on air.
+	Deliveries []Delivery `json:"deliveries,omitempty"`
 }
 
 // ExportTransmission captures one in-flight transmission.
@@ -36,7 +41,7 @@ func ExportTransmission(tx *Transmission) (TxState, error) {
 	if err != nil {
 		return TxState{}, fmt.Errorf("phy: transmission %d from %d: %w", tx.TxID, tx.From, err)
 	}
-	return TxState{TxID: tx.TxID, From: tx.From, Frame: enc, Rate: tx.Rate.ID, Start: tx.Start, End: tx.End}, nil
+	return TxState{TxID: tx.TxID, From: tx.From, Frame: enc, Rate: tx.Rate.ID, Start: tx.Start, End: tx.End, Deliveries: tx.Deliveries}, nil
 }
 
 // Restore fills tx from the checkpointed record.
@@ -48,7 +53,7 @@ func (st TxState) Restore(tx *Transmission) error {
 	if int(st.Rate) >= len(rateTable) {
 		return fmt.Errorf("phy: transmission %d names invalid rate id %d", st.TxID, st.Rate)
 	}
-	*tx = Transmission{TxID: st.TxID, From: st.From, Frame: f, Rate: rateTable[st.Rate], Start: st.Start, End: st.End}
+	*tx = Transmission{TxID: st.TxID, From: st.From, Frame: f, Rate: rateTable[st.Rate], Start: st.Start, End: st.End, Deliveries: st.Deliveries}
 	return nil
 }
 

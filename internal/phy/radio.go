@@ -27,6 +27,23 @@ type Transmission struct {
 	Rate Rate
 	// Start and End bound the on-air interval.
 	Start, End sim.Time
+	// Deliveries is the sender's delivery list captured at transmit
+	// time. The end-of-signal fan-out walks this snapshot rather than
+	// the medium's live list, so SignalStart and SignalEnd reach exactly
+	// the same receiver set even if node movement patches the live lists
+	// while the frame is on the air. Under static scenarios it aliases
+	// the live list and behaviour is unchanged.
+	Deliveries []Delivery
+}
+
+// Delivery is one audible receiver of a node's transmissions: the
+// receiver index and the power it hears, in mW, at the common transmit
+// power. The medium builds and patches delivery lists (see
+// internal/medium); the type lives here so an in-flight Transmission
+// can carry its snapshot without an import cycle.
+type Delivery struct {
+	Dst    int
+	GainMW float64
 }
 
 // activeSignal is one transmission currently audible at a radio,

@@ -87,6 +87,12 @@ func (d *Dist) Percentile(p float64) float64 {
 	return d.xs[lo]*(1-frac) + d.xs[hi]*frac
 }
 
+// Sorted returns a copy of the samples in ascending order.
+func (d *Dist) Sorted() []float64 {
+	d.sort()
+	return append([]float64(nil), d.xs...)
+}
+
 // Median returns the 50th percentile.
 func (d *Dist) Median() float64 { return d.Percentile(50) }
 

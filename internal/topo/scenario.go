@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/medium"
+	"repro/internal/mobility"
 	"repro/internal/phy"
 	"repro/internal/radio"
 	"repro/internal/sim"
@@ -41,6 +42,24 @@ type Scenario struct {
 	// keeps the driver's own default. cmd/cmapsim runs the first entry
 	// when its -arm and -protocol flags are left untouched.
 	Arms []string
+
+	// Mobility is the scenario's suggested node-motion model, consulted
+	// by drivers when the user's -mobility flag is left empty. The zero
+	// value keeps the layout static, so every pre-mobility scenario
+	// behaves exactly as before.
+	Mobility mobility.Spec
+}
+
+// Mobile returns a copy of the scenario carrying the given motion
+// suggestion — the cheap way to derive a mobile variant of any static
+// layout.
+func (s *Scenario) Mobile(spec mobility.Spec) *Scenario {
+	c := *s
+	c.Mobility = spec
+	if c.Mobility.Kind != mobility.None {
+		c.Name = s.Name + "+" + c.Mobility.String()
+	}
+	return &c
 }
 
 // N returns the node count.
@@ -134,6 +153,43 @@ func ClusteredAPs(cells, clients int, sideM, cellRadiusM float64, seed uint64) *
 			th := 2 * math.Pi * rng.Float64()
 			s.Pos = append(s.Pos, center.Add(r*math.Cos(th), r*math.Sin(th)))
 		}
+	}
+	return s
+}
+
+// Highway generates a vehicular strip: lanes lanes of lengthM metres,
+// laneGapM apart, with n vehicles scattered along them. Its suggested
+// mobility is the vehicular lane-flow model at speedMps (drivers apply
+// it when the user leaves -mobility empty), making it the stock mobile
+// counterpart of the static layouts: geometry churns continuously as
+// traffic streams past in both directions.
+func Highway(n, lanes int, lengthM, laneGapM, speedMps float64, seed uint64) *Scenario {
+	if lanes < 1 {
+		lanes = 1
+	}
+	rng := sim.NewRNG(seed).Stream(0x416a)
+	height := laneGapM * float64(lanes+1)
+	s := &Scenario{
+		Name:   fmt.Sprintf("highway-%dx%d", n, lanes),
+		Bounds: geo.Rect{MinX: 0, MinY: 0, MaxX: lengthM, MaxY: height},
+		Params: phy.DefaultParams(),
+		Model:  radio.DefaultUrban5GHz(seed),
+		// Streams of vehicles passing each other are exposed-terminal
+		// country in motion: conflict maps versus plain carrier sense is
+		// the comparison the layout exists for.
+		Arms: []string{"cmap", "csma"},
+		Mobility: mobility.Spec{
+			Kind:     mobility.Vehicular,
+			SpeedMps: speedMps,
+			DecorrM:  10,
+		},
+	}
+	for i := 0; i < n; i++ {
+		lane := int(rng.Uint64() % uint64(lanes))
+		s.Pos = append(s.Pos, geo.Point{
+			X: rng.Float64() * lengthM,
+			Y: laneGapM * float64(lane+1),
+		})
 	}
 	return s
 }

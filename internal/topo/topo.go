@@ -128,10 +128,18 @@ func (tb *Testbed) measure() {
 // scheduler. Decode randomness comes from rng; the channel itself is part
 // of the testbed and identical across builds.
 func (tb *Testbed) Build(sched *sim.Scheduler, rng *sim.RNG) *medium.Medium {
+	return tb.BuildWith(sched, rng, tb.Model)
+}
+
+// BuildWith is Build with an explicit channel model in place of
+// tb.Model — the hook mobile runs use to interpose the shadowing
+// re-draw wrapper (mobility.Channel) around the testbed's model. The
+// DenseMedium switch is honoured the same way.
+func (tb *Testbed) BuildWith(sched *sim.Scheduler, rng *sim.RNG, model radio.Model) *medium.Medium {
 	if tb.DenseMedium {
-		return medium.NewDense(sched, tb.Params, tb.Model, tb.Pos, rng)
+		return medium.NewDense(sched, tb.Params, model, tb.Pos, rng)
 	}
-	return medium.New(sched, tb.Params, tb.Model, tb.Pos, rng)
+	return medium.New(sched, tb.Params, model, tb.Pos, rng)
 }
 
 // SignalP10 returns the network-wide 10th-percentile signal strength.
